@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation of a design choice DESIGN.md calls out).  Besides the
+pytest-benchmark timing, each benchmark writes the rendered ASCII table /
+chart to ``benchmarks/results/<experiment>.txt`` so the reproduced numbers
+survive the run and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workload scale used by the dataset-level benchmarks.  "default" gives a few
+#: tens of thousands of voxel updates per dataset (a couple of minutes for the
+#: whole harness); "smoke" exists for quick checks.
+BENCHMARK_SCALE = "default"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory that collects the rendered experiment outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir: Path):
+    """Persist a rendered experiment and echo it to stdout."""
+
+    def _save(experiment_id: str, rendered: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n{rendered}\n[saved to {path}]")
+
+    return _save

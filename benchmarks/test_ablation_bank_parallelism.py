@@ -1,0 +1,61 @@
+"""Ablation: banked (parallel) vs serialised children access.
+
+Section IV-B claims the 8-bank TreeMem organisation is what removes the node
+prune/expand bottleneck, because a parent update / pruning check fetches all
+eight children in one cycle.  This ablation re-runs the same workload with the
+row access serialised over eight cycles (``row_read_cycles = 8``, i.e. a
+single-bank memory) and shows the prune/expand share and the cycles per update
+growing back towards the CPU profile.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import OMUAccelerator, OMUConfig
+from repro.core.config import TimingParams
+from repro.datasets.catalog import dataset_by_name
+from repro.datasets.generator import GenerationSpec, generate_scan_graph
+from repro.octomap.counters import OperationKind
+
+SPEC = GenerationSpec(num_scans=2, beams_azimuth=96, beams_elevation=3, max_range_m=12.0)
+
+
+def _run(graph, descriptor, timing: TimingParams):
+    config = OMUConfig(resolution_m=descriptor.resolution_m, timing=timing)
+    accelerator = OMUAccelerator(config)
+    total = accelerator.process_scan_graph(graph, max_range=SPEC.max_range_m)
+    fractions = total.breakdown.fractions()
+    return {
+        "cycles_per_update": accelerator.map_cycles_per_update(),
+        "prune_share": fractions[OperationKind.PRUNE_EXPAND]
+        + fractions[OperationKind.UPDATE_PARENTS],
+    }
+
+
+def test_ablation_bank_parallelism(benchmark, save_result):
+    descriptor = dataset_by_name("FR-079 corridor")
+    graph = generate_scan_graph(descriptor, SPEC)
+
+    results = {}
+
+    def sweep():
+        results["8 parallel banks (OMU)"] = _run(graph, descriptor, TimingParams())
+        results["serialised children access"] = _run(
+            graph, descriptor, TimingParams(row_read_cycles=8, row_write_cycles=8)
+        )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (name, data["cycles_per_update"], 100.0 * data["prune_share"])
+        for name, data in results.items()
+    ]
+    rendered = render_table(
+        "Ablation: parallel memory banks vs serialised children access (FR-079)",
+        ("Memory organisation", "Cycles / voxel update", "Parent+prune share (%)"),
+        rows,
+    )
+    save_result("ablation_bank_parallelism", rendered)
+
+    banked = results["8 parallel banks (OMU)"]
+    serial = results["serialised children access"]
+    assert serial["cycles_per_update"] > 1.5 * banked["cycles_per_update"]
+    assert serial["prune_share"] > banked["prune_share"]

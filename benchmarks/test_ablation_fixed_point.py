@@ -1,0 +1,81 @@
+"""Ablation: fixed-point word width vs map accuracy.
+
+The paper states the 16-bit fixed-point probability field was chosen "to have
+zero loss from the floating-point maps".  This ablation builds the same map
+with 8-, 12-, 16- and 24-bit log-odds formats and measures the classification
+agreement and the worst-case log-odds error against a double-precision
+software map, confirming that 16 bits is where the loss vanishes.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.fixedpoint import FixedPointFormat, QuantizedOccupancyParams
+from repro.datasets.catalog import dataset_by_name
+from repro.datasets.generator import GenerationSpec, generate_scan_graph
+from repro.octomap.logodds import DEFAULT_PARAMS
+from repro.octomap.octree import OccupancyOcTree
+
+SPEC = GenerationSpec(num_scans=2, beams_azimuth=96, beams_elevation=3, max_range_m=12.0)
+
+FORMATS = {
+    "8-bit (Q4.3)": FixedPointFormat(total_bits=8, fraction_bits=3),
+    "12-bit (Q5.6)": FixedPointFormat(total_bits=12, fraction_bits=6),
+    "16-bit (Q5.10, OMU)": FixedPointFormat(total_bits=16, fraction_bits=10),
+    "24-bit (Q6.17)": FixedPointFormat(total_bits=24, fraction_bits=17),
+}
+
+
+def _build(graph, max_range, params=None):
+    tree = OccupancyOcTree(0.2, params=params) if params is not None else OccupancyOcTree(0.2)
+    for scan in graph:
+        tree.insert_point_cloud(scan.world_cloud(), scan.origin(), max_range=max_range)
+    return tree
+
+
+def test_ablation_fixed_point_width(benchmark, save_result):
+    descriptor = dataset_by_name("FR-079 corridor")
+    graph = generate_scan_graph(descriptor, SPEC)
+
+    reference = _build(graph, SPEC.max_range_m)
+    reference_grid = reference.occupancy_grid()
+
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for label, fmt in FORMATS.items():
+            quantized = QuantizedOccupancyParams(DEFAULT_PARAMS, fmt)
+            tree = _build(graph, SPEC.max_range_m, params=quantized.as_float_params())
+            grid = tree.occupancy_grid()
+            worst_error = 0.0
+            disagreements = 0
+            for key, value in reference_grid.items():
+                other = grid.get(key, 0.0)
+                worst_error = max(worst_error, abs(other - value))
+                if DEFAULT_PARAMS.is_occupied(value) != tree.params.is_occupied(other):
+                    disagreements += 1
+            rows.append(
+                (
+                    label,
+                    fmt.scale,
+                    worst_error,
+                    100.0 * (1.0 - disagreements / len(reference_grid)),
+                )
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rendered = render_table(
+        "Ablation: fixed-point width vs float map accuracy (FR-079 corridor)",
+        ("Format", "LSB value", "Worst |log-odds error|", "Classification agreement (%)"),
+        rows,
+        precision=3,
+    )
+    save_result("ablation_fixed_point", rendered)
+
+    by_label = {row[0]: row for row in rows}
+    omu_row = by_label["16-bit (Q5.10, OMU)"]
+    assert omu_row[3] == pytest.approx(100.0)
+    assert omu_row[2] < 0.05
+    assert by_label["8-bit (Q4.3)"][2] > omu_row[2]

@@ -1,0 +1,62 @@
+"""Ablation: PE count scaling (1 / 2 / 4 / 8 PEs).
+
+The paper fixes the PE count at 8 (one per first-level branch) "to maximise
+voxel update throughput" and notes the design is scalable.  This ablation
+sweeps the PE count on the FR-079 corridor workload and reports the effective
+cycles per voxel update and the extrapolated FPS, showing where the
+parallelism saturates.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core import OMUAccelerator, OMUConfig
+from repro.datasets.catalog import dataset_by_name
+from repro.datasets.generator import GenerationSpec, generate_scan_graph
+
+SPEC = GenerationSpec(num_scans=2, beams_azimuth=96, beams_elevation=3, max_range_m=12.0)
+
+
+def _run_with_pes(graph, descriptor, num_pes: int):
+    config = OMUConfig(resolution_m=descriptor.resolution_m, num_pes=num_pes)
+    accelerator = OMUAccelerator(config)
+    accelerator.process_scan_graph(graph, max_range=SPEC.max_range_m)
+    cycles_per_update = accelerator.map_cycles_per_update()
+    latency = descriptor.voxel_updates_total * cycles_per_update / config.clock_hz
+    return {
+        "cycles_per_update": cycles_per_update,
+        "parallel_speedup": accelerator.map_parallel_speedup(),
+        "fps": descriptor.fps_from_latency(latency),
+    }
+
+
+def test_ablation_pe_scaling(benchmark, save_result):
+    descriptor = dataset_by_name("FR-079 corridor")
+    graph = generate_scan_graph(descriptor, SPEC)
+
+    results = {}
+
+    def sweep():
+        for num_pes in (1, 2, 4, 8):
+            results[num_pes] = _run_with_pes(graph, descriptor, num_pes)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            num_pes,
+            results[num_pes]["cycles_per_update"],
+            results[num_pes]["parallel_speedup"],
+            results[num_pes]["fps"],
+            results[num_pes]["fps"] > 30.0,
+        )
+        for num_pes in sorted(results)
+    ]
+    rendered = render_table(
+        "Ablation: PE count scaling on FR-079 corridor",
+        ("PEs", "Cycles / voxel update", "Parallel speedup", "Extrapolated FPS", "Real-time"),
+        rows,
+    )
+    save_result("ablation_pe_scaling", rendered)
+
+    assert results[8]["cycles_per_update"] < results[2]["cycles_per_update"] < results[1]["cycles_per_update"]
+    assert results[8]["fps"] > 30.0
+    assert results[1]["fps"] < results[8]["fps"]

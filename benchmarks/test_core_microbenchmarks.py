@@ -1,0 +1,57 @@
+"""Microbenchmarks of the core accelerator datapaths (not tied to a figure).
+
+These track the Python model's own performance (voxel updates per second,
+queries per second, ray-casting throughput) so regressions in the simulator
+are visible independent of the paper-facing experiments.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import OMUAccelerator, OMUConfig
+from repro.octomap import OccupancyOcTree, PointCloud
+
+
+def _ring_cloud(points: int = 360) -> PointCloud:
+    return PointCloud(
+        [
+            (4.0 * math.cos(azimuth), 4.0 * math.sin(azimuth), 0.3 * math.sin(3 * azimuth))
+            for azimuth in np.linspace(-math.pi, math.pi, points, endpoint=False)
+        ]
+    )
+
+
+def test_accelerator_scan_processing_throughput(benchmark):
+    cloud = _ring_cloud()
+
+    def process():
+        accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2))
+        return accelerator.process_scan(cloud, (0.0, 0.0, 0.0)).voxel_updates
+
+    updates = benchmark(process)
+    assert updates > 500
+
+
+def test_software_octomap_insertion_throughput(benchmark):
+    cloud = _ring_cloud()
+
+    def insert():
+        tree = OccupancyOcTree(0.2)
+        tree.insert_point_cloud(cloud, (0.0, 0.0, 0.0))
+        return tree.size()
+
+    size = benchmark(insert)
+    assert size > 500
+
+
+def test_voxel_query_throughput(benchmark):
+    accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2))
+    accelerator.process_scan(_ring_cloud(), (0.0, 0.0, 0.0))
+    probe_points = [(x * 0.37, y * 0.53, 0.0) for x in range(-5, 6) for y in range(-5, 6)]
+
+    def query_all():
+        return sum(1 for point in probe_points if accelerator.classify(*point) != "unknown")
+
+    known = benchmark(query_all)
+    assert known > 20

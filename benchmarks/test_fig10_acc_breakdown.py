@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 10 (runtime breakdown, i9 CPU vs OMU accelerator)."""
+
+from repro.analysis.experiments import figure10_accelerator_breakdown
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_fig10_accelerator_breakdown(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure10_accelerator_breakdown(scale=BENCHMARK_SCALE), rounds=1, iterations=1
+    )
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        backend, prune_share = str(row[1]), row[5]
+        if backend == "OMU":
+            # Paper: prune/expand drops below ~20 % on the accelerator.
+            assert prune_share < 25.0
+        else:
+            assert prune_share > 40.0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 (CPU runtime breakdown of the OctoMap pipeline)."""
+
+from repro.analysis.experiments import figure3_cpu_breakdown
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_fig3_cpu_breakdown(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure3_cpu_breakdown(scale=BENCHMARK_SCALE), rounds=1, iterations=1
+    )
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        ray, leaf, parents, prune = row[1], row[2], row[3], row[4]
+        # Paper Fig. 3: node prune/expand dominates; ray casting is negligible.
+        assert prune == max(ray, leaf, parents, prune)
+        assert prune > 40.0
+        assert ray < 10.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 8 (12 nm layout area of the 8-PE accelerator)."""
+
+import pytest
+
+from repro.analysis.experiments import figure8_area
+
+
+def test_fig8_area(benchmark, save_result):
+    result = benchmark(figure8_area)
+    save_result(result.experiment_id, result.rendered)
+    totals = {str(row[0]): row[1] for row in result.rows}
+    assert totals["Total"] == pytest.approx(2.5, rel=0.05)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 9 (FR-079 latency and throughput bar charts)."""
+
+from repro.analysis.experiments import figure9_fr079
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_fig9_fr079(benchmark, save_result):
+    result = benchmark.pedantic(lambda: figure9_fr079(scale=BENCHMARK_SCALE), rounds=1, iterations=1)
+    save_result(result.experiment_id, result.rendered)
+    latency = {str(row[0]): row[1] for row in result.rows}
+    fps = {str(row[0]): row[2] for row in result.rows}
+    assert latency["OMU accelerator"] < latency["Intel i9 CPU"] < latency["Arm A57 CPU"]
+    assert fps["OMU accelerator"] > 30.0 > fps["Intel i9 CPU"] > fps["Arm A57 CPU"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate the Section VI-C power budget (250.8 mW, 91 % SRAM)."""
+
+import pytest
+
+from repro.analysis.experiments import power_budget
+
+
+def test_power_budget(benchmark, save_result):
+    result = benchmark(power_budget)
+    save_result(result.experiment_id, result.rendered)
+    rows = {str(row[0]): row[1] for row in result.rows}
+    assert rows["Total power (mW)"] == pytest.approx(250.8, rel=0.05)
+    assert rows["SRAM share (%)"] == pytest.approx(91.0, abs=3.0)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table I (qualitative comparison of mapping accelerators)."""
+
+from repro.analysis.experiments import table1_related_work
+
+
+def test_table1_related_work(benchmark, save_result):
+    result = benchmark(table1_related_work)
+    save_result(result.experiment_id, result.rendered)
+    omu_row = [row for row in result.rows if "OMU" in str(row[0])][0]
+    assert omu_row[1:] == (True, True, True)

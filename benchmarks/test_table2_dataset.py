@@ -1,0 +1,18 @@
+"""Bench: regenerate Table II (dataset details and i9 baseline latency/FPS)."""
+
+import pytest
+
+from repro.analysis.experiments import table2_dataset_details
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_table2_dataset_details(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: table2_dataset_details(scale=BENCHMARK_SCALE), rounds=1, iterations=1
+    )
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        model_latency, paper_latency = row[5], row[6]
+        assert model_latency == pytest.approx(paper_latency, rel=0.1)
+        model_fps, paper_fps = row[7], row[8]
+        assert model_fps == pytest.approx(paper_fps, rel=0.1)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table III (latency and speed-ups over the i9 and A57)."""
+
+from repro.analysis.experiments import table3_latency
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_table3_latency(benchmark, save_result):
+    result = benchmark.pedantic(lambda: table3_latency(scale=BENCHMARK_SCALE), rounds=1, iterations=1)
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        speedup_i9, paper_i9 = row[5], row[6]
+        speedup_a57, paper_a57 = row[7], row[8]
+        # The shape must hold: order-of-10x over the i9, tens-of-x over the A57.
+        assert 0.5 * paper_i9 < speedup_i9 < 2.0 * paper_i9
+        assert 0.5 * paper_a57 < speedup_a57 < 2.0 * paper_a57

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table IV (throughput in FPS; the 30 FPS real-time bar)."""
+
+import pytest
+
+from repro.analysis.experiments import table4_throughput
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_table4_throughput(benchmark, save_result):
+    result = benchmark.pedantic(lambda: table4_throughput(scale=BENCHMARK_SCALE), rounds=1, iterations=1)
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        i9_fps, a57_fps, omu_fps = row[1], row[2], row[3]
+        assert i9_fps == pytest.approx(5.0, abs=1.0)
+        assert a57_fps == pytest.approx(1.0, abs=0.3)
+        assert omu_fps > 30.0, "OMU must clear the real-time requirement"
+        assert row[7] is True

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table V (energy and the energy benefit over the A57)."""
+
+from repro.analysis.experiments import table5_energy
+from benchmarks.conftest import BENCHMARK_SCALE
+
+
+def test_table5_energy(benchmark, save_result):
+    result = benchmark.pedantic(lambda: table5_energy(scale=BENCHMARK_SCALE), rounds=1, iterations=1)
+    save_result(result.experiment_id, result.rendered)
+    for row in result.rows:
+        benefit, paper_benefit = row[5], row[6]
+        assert 0.5 * paper_benefit < benefit < 2.0 * paper_benefit
+        assert benefit > 100.0

@@ -1,0 +1,67 @@
+"""Reproduce the paper's headline comparison on the FR-079 corridor (Fig. 9).
+
+Runs the scaled corridor workload on the OMU model, measures its effective
+cycles per voxel update, extrapolates to the full-size dataset and prints the
+latency / throughput / energy comparison against the calibrated Intel i9 and
+ARM Cortex-A57 baselines -- the same quantities as the paper's Fig. 9 and
+Tables III-V, with the paper's numbers alongside.
+
+Run with:  python examples/corridor_vs_cpu.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import evaluate_dataset, render_bar_chart, render_table
+
+
+def main() -> None:
+    evaluation = evaluate_dataset("FR-079 corridor", scale="default")
+    descriptor = evaluation.descriptor
+    paper = descriptor.paper
+
+    rows = [
+        ("Arm A57 CPU", evaluation.a57_latency_s, evaluation.a57_fps, evaluation.a57_energy_j),
+        ("Intel i9 CPU", evaluation.i9_latency_s, evaluation.i9_fps, None),
+        ("OMU accelerator", evaluation.omu_latency_s, evaluation.omu_fps, evaluation.omu_energy_j),
+        ("OMU (paper)", paper.omu_latency_s, paper.omu_fps, paper.omu_energy_j),
+    ]
+    print(
+        render_table(
+            f"{descriptor.name}: full-dataset latency, throughput and energy",
+            ("Platform", "Latency (s)", "Throughput (FPS)", "Energy (J)"),
+            rows,
+        )
+    )
+    print()
+    print(
+        render_bar_chart(
+            "Latency (s) -- lower is better",
+            {str(row[0]): float(row[1]) for row in rows},
+            unit=" s",
+        )
+    )
+    print()
+    print(
+        render_bar_chart(
+            "Throughput (FPS) -- the real-time bar is 30 FPS",
+            {str(row[0]): float(row[2]) for row in rows},
+            unit=" FPS",
+        )
+    )
+    print()
+    print(
+        f"Speedup over the i9:  {evaluation.i9_latency_s / evaluation.omu_latency_s:5.1f}x "
+        f"(paper: {paper.speedup_over_i9:.1f}x)"
+    )
+    print(
+        f"Speedup over the A57: {evaluation.a57_latency_s / evaluation.omu_latency_s:5.1f}x "
+        f"(paper: {paper.speedup_over_a57:.1f}x)"
+    )
+    print(
+        f"Energy benefit over the A57: {evaluation.a57_energy_j / evaluation.omu_energy_j:5.0f}x "
+        f"(paper: {paper.energy_benefit:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

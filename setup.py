@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that legacy (non-PEP-517) editable installs work on machines without
+the ``wheel`` package, e.g. ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""OMU reproduction: probabilistic 3D occupancy mapping acceleration.
+
+A from-scratch Python reproduction of *"OMU: A Probabilistic 3D Occupancy
+Mapping Accelerator for Real-time OctoMap at the Edge"* (DATE 2022).  The
+package is organised by subsystem:
+
+* :mod:`repro.octomap` -- the software OctoMap substrate (octree, log-odds
+  occupancy, ray casting, scan insertion) used both as the functional golden
+  model and as the CPU baseline workload.
+* :mod:`repro.core` -- the OMU accelerator model (PE array, banked TreeMem,
+  prune address manager, voxel scheduler, query unit) at functional +
+  cycle-approximate fidelity.
+* :mod:`repro.datasets` -- synthetic stand-ins for the OctoMap 3D scan
+  datasets, matched to the paper's Table II statistics.
+* :mod:`repro.baselines` -- calibrated Intel i9 / ARM Cortex-A57 cost models
+  and the instrumented software baseline runner.
+* :mod:`repro.energy` -- 12 nm power / energy / area models.
+* :mod:`repro.analysis` -- one experiment driver per paper table and figure.
+
+Quickstart::
+
+    from repro import OMUAccelerator, OMUConfig
+    from repro.datasets import generate_named_graph
+
+    descriptor, graph = generate_named_graph("FR-079 corridor", num_scans=3)
+    accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2))
+    timing = accelerator.process_scan_graph(graph)
+    print(timing.cycles_per_update(), accelerator.classify(1.0, 0.0, 1.2))
+"""
+
+from repro.core import OMUAccelerator, OMUConfig
+from repro.octomap import OccupancyOcTree, PointCloud, Pose6D, ScanGraph, ScanNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OMUAccelerator",
+    "OMUConfig",
+    "OccupancyOcTree",
+    "PointCloud",
+    "Pose6D",
+    "ScanGraph",
+    "ScanNode",
+    "__version__",
+]

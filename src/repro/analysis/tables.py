@@ -1,0 +1,96 @@
+"""Plain-text table and bar-chart rendering.
+
+Every experiment driver returns structured data; this module turns it into
+the ASCII tables and horizontal bar charts printed by the benchmark harness
+and the examples, so the reproduced tables/figures can be compared against
+the paper at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_bar_chart", "format_quantity"]
+
+
+def format_quantity(value, precision: int = 2) -> str:
+    """Human-friendly formatting of the mixed cell types the tables carry."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 1:
+            return f"{value:.{precision}f}"
+        if magnitude >= 0.01:
+            return f"{value:.{precision + 1}f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render a titled ASCII table with column alignment.
+
+    Args:
+        title: printed above the table.
+        headers: column names.
+        rows: table body; cells are formatted with :func:`format_quantity`.
+        precision: decimal places for float cells.
+    """
+    formatted_rows = [[format_quantity(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = [title, line(list(headers)), separator]
+    parts.extend(line(row) for row in formatted_rows)
+    return "\n".join(parts)
+
+
+def render_bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for the figure reproductions).
+
+    Bars are scaled to the largest value; each line shows the label, the bar
+    and the numeric value.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    parts = [title]
+    if not values:
+        return title + "\n(no data)"
+    maximum = max(values.values())
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        if maximum > 0:
+            bar_length = int(round(width * value / maximum))
+        else:
+            bar_length = 0
+        bar = "#" * bar_length
+        parts.append(f"{label.ljust(label_width)} | {bar} {format_quantity(value)}{unit}")
+    return "\n".join(parts)

@@ -1,0 +1,32 @@
+"""CPU baselines: platform descriptors, calibrated cost models, instrumented runs."""
+
+from repro.baselines.cpu_model import (
+    A57_COST_MODEL,
+    A57_NS_PER_UPDATE,
+    CpuCostModel,
+    CpuRunEstimate,
+    I9_COST_MODEL,
+    I9_NS_PER_UPDATE,
+)
+from repro.baselines.platforms import (
+    ARM_CORTEX_A57,
+    INTEL_I9_9940X,
+    OMU_PLATFORM,
+    PlatformDescriptor,
+)
+from repro.baselines.sw_runner import SoftwareRunResult, run_software_octomap
+
+__all__ = [
+    "A57_COST_MODEL",
+    "A57_NS_PER_UPDATE",
+    "ARM_CORTEX_A57",
+    "CpuCostModel",
+    "CpuRunEstimate",
+    "I9_COST_MODEL",
+    "I9_NS_PER_UPDATE",
+    "INTEL_I9_9940X",
+    "OMU_PLATFORM",
+    "PlatformDescriptor",
+    "SoftwareRunResult",
+    "run_software_octomap",
+]

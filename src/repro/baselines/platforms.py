@@ -1,0 +1,85 @@
+"""Descriptors of the baseline compute platforms the paper compares against.
+
+Two CPU baselines appear in the evaluation:
+
+* **Intel i9-9940X** -- a 14-core desktop CPU (165 W TDP); the paper uses it
+  for the workload characterisation (Table II, Fig. 3) and the latency /
+  throughput comparison (Tables III/IV, Fig. 9) but excludes it from the
+  energy comparison because a desktop TDP is not representative of the edge.
+* **ARM Cortex-A57** (Nvidia Jetson TX2) -- the representative edge platform;
+  the paper measures 2.6-2.9 W during mapping and uses the average for the
+  energy comparison (Table V).
+
+The descriptors carry the physical constants the models need (frequency,
+measured mapping power, TDP) plus provenance notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformDescriptor", "INTEL_I9_9940X", "ARM_CORTEX_A57", "OMU_PLATFORM"]
+
+
+@dataclass(frozen=True)
+class PlatformDescriptor:
+    """Physical description of one compute platform.
+
+    Attributes:
+        name: human-readable platform name.
+        frequency_hz: nominal core clock.
+        mapping_power_w: power drawn while running the mapping workload
+            (used for energy = power x latency); None when the paper does not
+            report one (the i9).
+        tdp_w: thermal design power (contextual information only).
+        is_edge_platform: True for platforms the paper considers deployable
+            at the edge.
+    """
+
+    name: str
+    frequency_hz: float
+    mapping_power_w: float | None
+    tdp_w: float | None
+    is_edge_platform: bool
+
+    def energy_joules(self, latency_s: float) -> float:
+        """Energy for a run of ``latency_s`` seconds at the mapping power.
+
+        Raises:
+            ValueError: if the platform has no reported mapping power.
+        """
+        if self.mapping_power_w is None:
+            raise ValueError(
+                f"{self.name} has no reported mapping power; the paper excludes "
+                "it from the energy comparison"
+            )
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        return self.mapping_power_w * latency_s
+
+
+INTEL_I9_9940X = PlatformDescriptor(
+    name="Intel i9-9940X",
+    frequency_hz=3.3e9,
+    mapping_power_w=None,
+    tdp_w=165.0,
+    is_edge_platform=False,
+)
+
+ARM_CORTEX_A57 = PlatformDescriptor(
+    name="ARM Cortex-A57 (Jetson TX2)",
+    frequency_hz=2.0e9,
+    # The paper reports 2.6-2.9 W during mapping; the energy table is
+    # consistent with the average of that range (227.2 J / 81.7 s = 2.78 W).
+    mapping_power_w=2.78,
+    tdp_w=15.0,
+    is_edge_platform=True,
+)
+
+OMU_PLATFORM = PlatformDescriptor(
+    name="OMU accelerator (12 nm, 1 GHz)",
+    frequency_hz=1.0e9,
+    mapping_power_w=0.2508,
+    tdp_w=None,
+    is_edge_platform=True,
+)

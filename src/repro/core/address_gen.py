@@ -1,0 +1,80 @@
+"""Address generation: from voxel keys to per-level child indices.
+
+The OMU address-generation module (Fig. 4, block "Addr Gen") turns the input
+voxel coordinate into the sequence of child indices that guides the TreeMem
+accesses at each tree depth.  Because the OcTreeKey bits directly encode the
+root-to-leaf path (one bit per axis per level), the hardware is a simple bit
+multiplexer; this model reuses :class:`repro.octomap.keys.OcTreeKey` and adds
+the PE-routing view of the same bits:
+
+* level 0 (the root's child choice) selects the **PE** that owns the voxel --
+  this is the first-level tree-branch partitioning of Section IV-A;
+* levels 1 .. depth-1 select the banks/rows walked inside that PE.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.octomap.keys import KeyConverter, OcTreeKey
+
+__all__ = ["AddressGenerator"]
+
+
+class AddressGenerator:
+    """Derives PE routing and per-level child indices from voxel keys."""
+
+    def __init__(self, resolution_m: float, tree_depth: int, num_pes: int) -> None:
+        if num_pes < 1:
+            raise ValueError("num_pes must be at least 1")
+        self._converter = KeyConverter(resolution_m, tree_depth)
+        self._tree_depth = tree_depth
+        self._num_pes = num_pes
+
+    @property
+    def converter(self) -> KeyConverter:
+        """The coordinate <-> key converter used by the accelerator."""
+        return self._converter
+
+    @property
+    def tree_depth(self) -> int:
+        """Tree depth of the mapped octree."""
+        return self._tree_depth
+
+    def key_for_point(self, x: float, y: float, z: float) -> OcTreeKey:
+        """Discretise a metric point into its voxel key."""
+        return self._converter.coord_to_key(x, y, z)
+
+    def branch_id(self, key: OcTreeKey) -> int:
+        """First-level tree branch (0..7) of a voxel -- the partitioning index."""
+        return key.child_index(0, self._tree_depth)
+
+    def pe_for_key(self, key: OcTreeKey) -> int:
+        """PE that owns the voxel.
+
+        With the paper's 8 PEs this is exactly the first-level branch.  For
+        the PE-count ablation, fewer PEs each own several branches
+        (``branch % num_pes``); more than 8 PEs additionally split on the
+        second-level branch so the mapping stays balanced.
+        """
+        branch = self.branch_id(key)
+        if self._num_pes <= 8:
+            return branch % self._num_pes
+        second = key.child_index(1, self._tree_depth)
+        return (branch * 8 + second) % self._num_pes
+
+    def child_path(self, key: OcTreeKey) -> Tuple[int, ...]:
+        """Child indices from below the root down to the leaf.
+
+        Index 0 of the returned tuple selects the child of the PE's local
+        root (a depth-1 node); the last index selects the leaf voxel.
+        """
+        return key.path(self._tree_depth)[1:]
+
+    def full_path(self, key: OcTreeKey) -> Tuple[int, ...]:
+        """Child indices from the root down to the leaf (including level 0)."""
+        return key.path(self._tree_depth)
+
+    def keys_for_points(self, points: Sequence[Sequence[float]]) -> Tuple[OcTreeKey, ...]:
+        """Vectorised convenience wrapper over :meth:`key_for_point`."""
+        return tuple(self.key_for_point(*point) for point in points)

@@ -1,0 +1,149 @@
+"""Host interface: AXI-style configuration registers and DMA stream model.
+
+The OMU is a memory-mapped slave on an AXI bus (Fig. 7): the host CPU
+programs a handful of configuration registers through AXI-Lite writes, then
+streams point-cloud data into the accelerator (shared memory or DMA) and
+reads back status / results.  This module models both sides at the level of
+register state and transferred bytes + cycles -- enough to account for the
+host-side cost of launching the accelerator and to expose a realistic driver
+API to the examples, without simulating bus protocol signalling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RegisterFile", "DMAEngine", "HostInterface"]
+
+# Register map offsets (word addressed); mirrors the "sets of configuration
+# registers" of Section V.
+REG_CONTROL = 0x00
+REG_STATUS = 0x01
+REG_RESOLUTION = 0x02
+REG_MAX_RANGE = 0x03
+REG_NUM_POINTS = 0x04
+REG_ORIGIN_X = 0x05
+REG_ORIGIN_Y = 0x06
+REG_ORIGIN_Z = 0x07
+REG_CYCLES_LOW = 0x08
+REG_CYCLES_HIGH = 0x09
+
+CONTROL_START = 0x1
+CONTROL_RESET = 0x2
+STATUS_IDLE = 0x0
+STATUS_BUSY = 0x1
+STATUS_DONE = 0x2
+
+
+class RegisterFile:
+    """The accelerator's AXI-Lite accessible configuration registers."""
+
+    def __init__(self) -> None:
+        self._registers: Dict[int, int] = {
+            REG_CONTROL: 0,
+            REG_STATUS: STATUS_IDLE,
+            REG_RESOLUTION: 0,
+            REG_MAX_RANGE: 0,
+            REG_NUM_POINTS: 0,
+            REG_ORIGIN_X: 0,
+            REG_ORIGIN_Y: 0,
+            REG_ORIGIN_Z: 0,
+            REG_CYCLES_LOW: 0,
+            REG_CYCLES_HIGH: 0,
+        }
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, offset: int) -> int:
+        """AXI-Lite register read."""
+        self.reads += 1
+        if offset not in self._registers:
+            raise KeyError(f"no register at offset {offset:#x}")
+        return self._registers[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        """AXI-Lite register write."""
+        self.writes += 1
+        if offset not in self._registers:
+            raise KeyError(f"no register at offset {offset:#x}")
+        if not 0 <= value < (1 << 32):
+            raise ValueError(f"register value {value} does not fit in 32 bits")
+        self._registers[offset] = value
+
+    def set_status(self, status: int) -> None:
+        """Internal status update (not an AXI access)."""
+        self._registers[REG_STATUS] = status
+
+    def set_cycle_count(self, cycles: int) -> None:
+        """Expose a 64-bit cycle counter through two 32-bit registers."""
+        self._registers[REG_CYCLES_LOW] = cycles & 0xFFFFFFFF
+        self._registers[REG_CYCLES_HIGH] = (cycles >> 32) & 0xFFFFFFFF
+
+
+@dataclass
+class DMAEngine:
+    """Models point-cloud ingress over the AXI-Stream / DMA path.
+
+    The model only tracks moved bytes and the cycles they occupy on the bus
+    (``bus_bytes_per_cycle`` wide).  Point-cloud ingress overlaps with the
+    ray-casting and update pipeline in the real design, so these cycles are
+    informational rather than part of the critical path.
+    """
+
+    bus_bytes_per_cycle: int = 8
+    bytes_transferred: int = 0
+    transfers: int = 0
+    cycles: int = field(default=0)
+
+    def transfer(self, num_bytes: int) -> int:
+        """Account for one DMA transfer; returns the cycles it occupies."""
+        if num_bytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        self.transfers += 1
+        self.bytes_transferred += num_bytes
+        cycles = (num_bytes + self.bus_bytes_per_cycle - 1) // self.bus_bytes_per_cycle
+        self.cycles += cycles
+        return cycles
+
+
+class HostInterface:
+    """The host-side driver view: program registers, stream data, poll status."""
+
+    POINT_BYTES = 12  # three float32 coordinates per 3D point
+
+    def __init__(self) -> None:
+        self.registers = RegisterFile()
+        self.dma = DMAEngine()
+
+    def configure(self, resolution_m: float, max_range_m: float, origin) -> None:
+        """Program the per-scan configuration registers."""
+        self.registers.write(REG_RESOLUTION, int(resolution_m * 1000))  # millimetres
+        self.registers.write(REG_MAX_RANGE, max(0, int(max_range_m * 1000)))
+        self.registers.write(REG_ORIGIN_X, _to_fixed_mm(origin[0]))
+        self.registers.write(REG_ORIGIN_Y, _to_fixed_mm(origin[1]))
+        self.registers.write(REG_ORIGIN_Z, _to_fixed_mm(origin[2]))
+
+    def stream_points(self, num_points: int) -> int:
+        """Account for streaming a scan's points in; returns DMA cycles."""
+        self.registers.write(REG_NUM_POINTS, num_points)
+        return self.dma.transfer(num_points * self.POINT_BYTES)
+
+    def start(self) -> None:
+        """Kick the accelerator (control register write)."""
+        self.registers.write(REG_CONTROL, CONTROL_START)
+        self.registers.set_status(STATUS_BUSY)
+
+    def finish(self, cycles: int) -> None:
+        """Mark completion and expose the cycle count (accelerator side)."""
+        self.registers.set_cycle_count(cycles)
+        self.registers.set_status(STATUS_DONE)
+
+    def is_done(self) -> bool:
+        """Poll the status register."""
+        return self.registers.read(REG_STATUS) == STATUS_DONE
+
+
+def _to_fixed_mm(value: float) -> int:
+    """Encode a signed metric coordinate as millimetres in a 32-bit register."""
+    return int(round(value * 1000)) & 0xFFFFFFFF

@@ -1,0 +1,362 @@
+"""Processing element (PE): stores and updates one partition of the octree.
+
+Each PE owns the subtree(s) hanging off one (or more) first-level branches of
+the global octree (Section IV-A).  Internally it combines:
+
+* a :class:`~repro.core.treemem.BankedTreeMemory` holding the packed 64-bit
+  node entries, eight children per row (Section IV-B, Fig. 5);
+* a :class:`~repro.core.prune_manager.PruneAddressManager` recycling the rows
+  freed by pruning (Section IV-C, Fig. 6);
+* a :class:`~repro.core.probability_unit.ProbabilityUpdateUnit` implementing
+  the fixed-point occupancy arithmetic.
+
+The PE's local root(s) -- the depth-1 nodes of the global tree -- live in row
+0, bank = branch index, so up to eight branches can share one PE (used by the
+PE-count ablation).  A voxel update walks down the key path reading one entry
+per level, updates the leaf, then walks back up reading each parent's whole
+children row in a single banked access, recomputing the max occupancy,
+re-deriving the status tags and applying the pruning rule.  Every primitive
+action charges cycles to the pipeline stage it belongs to, so the accelerator
+reproduces the paper's runtime breakdown (Fig. 10) structurally rather than by
+fiat.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import OMUConfig
+from repro.core.prune_manager import PruneAddressManager
+from repro.core.probability_unit import ProbabilityUpdateUnit
+from repro.core.treemem import (
+    BankedTreeMemory,
+    ChildStatus,
+    NULL_POINTER,
+    TreeMemEntry,
+)
+from repro.core.timing import CycleBreakdown, PETimingStats
+from repro.octomap.counters import OperationCounters, OperationKind
+from repro.octomap.keys import OcTreeKey
+
+__all__ = ["ProcessingElement", "ExportedNode"]
+
+
+class ExportedNode:
+    """One node streamed out of a PE when the map is read back.
+
+    Attributes:
+        path: child indices from the *global* root down to this node (the
+            first element is the first-level branch).
+        probability_raw: fixed-point log-odds value of the node.
+        is_leaf: True if the node has no children block.
+        homogeneous: True if the node is a leaf above the finest depth, i.e.
+            it stands for a pruned, uniformly-observed region.
+    """
+
+    __slots__ = ("path", "probability_raw", "is_leaf", "homogeneous")
+
+    def __init__(self, path: Tuple[int, ...], probability_raw: int, is_leaf: bool, homogeneous: bool) -> None:
+        self.path = path
+        self.probability_raw = probability_raw
+        self.is_leaf = is_leaf
+        self.homogeneous = homogeneous
+
+
+class ProcessingElement:
+    """One OMU processing element."""
+
+    def __init__(self, pe_id: int, config: OMUConfig) -> None:
+        self.pe_id = pe_id
+        self.config = config
+        self.memory = BankedTreeMemory(config.banks_per_pe, config.entries_per_bank)
+        self.allocator = PruneAddressManager(config.entries_per_bank, reserved_rows=1)
+        self.probability_unit = ProbabilityUpdateUnit(config.quantized_params())
+        self.counters = OperationCounters()
+        self.stats = PETimingStats(pe_id=pe_id)
+        self.query_cycles = 0
+        # Which first-level branches have an initialised local root in row 0.
+        self._local_roots: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Voxel update (the main datapath)
+    # ------------------------------------------------------------------
+    def update_voxel(self, key: OcTreeKey, occupied: bool) -> int:
+        """Integrate one measurement for one voxel owned by this PE.
+
+        Returns the number of cycles the update consumed on this PE.
+        """
+        timing = self.config.timing
+        breakdown = CycleBreakdown()
+        path = key.path(self.config.tree_depth)
+        branch = path[0]
+        levels = path[1:]
+
+        # --- locate (or create) the local root of this branch ---------------
+        root_bank = branch
+        if branch not in self._local_roots:
+            root_entry = TreeMemEntry(probability_raw=0)
+            self.memory.write_entry(0, root_bank, root_entry)
+            self._local_roots[branch] = root_bank
+            self.counters.node_allocations += 1
+            self.stats.bank_writes += 1
+            breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_write_cycles)
+        entry = self.memory.read_entry(0, root_bank)
+        assert entry is not None
+        self.stats.bank_reads += 1
+        breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_read_cycles)
+
+        # --- walk down the key path, allocating / expanding as needed -------
+        # trail holds the (row, bank) location of every node on the path so
+        # the upward pass knows where to write the parents back.
+        trail: List[Tuple[int, int, TreeMemEntry]] = [(0, root_bank, entry)]
+        current = entry
+        current_row, current_bank = 0, root_bank
+
+        for child_index in levels:
+            child_entry, child_row = self._descend(
+                current, current_row, current_bank, child_index, breakdown
+            )
+            trail.append((child_row, child_index, child_entry))
+            current = child_entry
+            current_row, current_bank = child_row, child_index
+
+        # --- leaf update (paper eq. (2)) -------------------------------------
+        leaf_row, leaf_bank, leaf_entry = trail[-1]
+        leaf_entry.probability_raw = self.probability_unit.update_leaf(
+            leaf_entry.probability_raw, occupied
+        )
+        self.memory.write_entry(leaf_row, leaf_bank, leaf_entry)
+        self.counters.leaf_updates += 1
+        self.stats.bank_writes += 1
+        breakdown.charge(
+            OperationKind.UPDATE_LEAF, timing.alu_cycles + timing.bank_write_cycles
+        )
+
+        # --- upward pass: parent update (eq. (3)) and pruning ---------------
+        for level in range(len(trail) - 2, -1, -1):
+            parent_row, parent_bank, parent_entry = trail[level]
+            self._update_parent(parent_entry, breakdown)
+            self.memory.write_entry(parent_row, parent_bank, parent_entry)
+            self.stats.bank_writes += 1
+            breakdown.charge(OperationKind.UPDATE_PARENTS, timing.bank_write_cycles)
+
+        self.stats.breakdown.merge(breakdown)
+        self.stats.voxel_updates += 1
+        self.counters.extra["pe_updates"] = self.counters.extra.get("pe_updates", 0) + 1
+        return breakdown.total()
+
+    def _descend(
+        self,
+        parent: TreeMemEntry,
+        parent_row: int,
+        parent_bank: int,
+        child_index: int,
+        breakdown: CycleBreakdown,
+    ) -> Tuple[TreeMemEntry, int]:
+        """Fetch (creating or expanding if necessary) one child on the path.
+
+        Returns the child's entry and the row of the children block it lives
+        in (the child's bank is ``child_index``).
+        """
+        timing = self.config.timing
+
+        if parent.pointer == NULL_POINTER:
+            homogeneous = any(tag != ChildStatus.UNKNOWN for tag in parent.child_tags)
+            row = self.allocator.allocate_row()
+            parent.pointer = row
+            breakdown.charge(OperationKind.PRUNE_EXPAND, timing.prune_stack_cycles)
+            if homogeneous:
+                # The parent was a pruned leaf covering a uniform region: the
+                # eight children are re-materialised with the parent's value.
+                status = self.probability_unit.classify(parent.probability_raw)
+                children = [
+                    TreeMemEntry(
+                        pointer=NULL_POINTER,
+                        child_tags=[status] * 8,
+                        probability_raw=parent.probability_raw,
+                    )
+                    for _ in range(8)
+                ]
+                self.memory.write_row(row, children)
+                self.stats.row_accesses += 1
+                self.counters.expansions += 1
+                self.counters.node_allocations += 8
+                breakdown.charge(OperationKind.PRUNE_EXPAND, timing.row_write_cycles)
+            else:
+                child = TreeMemEntry(probability_raw=0)
+                self.memory.write_entry(row, child_index, child)
+                self.stats.bank_writes += 1
+                self.counters.node_allocations += 1
+                breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_write_cycles)
+            # Persist the parent's new pointer immediately; the upward pass
+            # will rewrite the entry anyway but a partially-written tree must
+            # never be observable by queries issued between updates.
+            self.memory.write_entry(parent_row, parent_bank, parent)
+            self.stats.bank_writes += 1
+            breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_write_cycles)
+        elif parent.tag(child_index) == ChildStatus.UNKNOWN:
+            child = TreeMemEntry(probability_raw=0)
+            self.memory.write_entry(parent.pointer, child_index, child)
+            self.stats.bank_writes += 1
+            self.counters.node_allocations += 1
+            breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_write_cycles)
+
+        row = parent.pointer
+        child_entry = self.memory.read_entry(row, child_index)
+        self.stats.bank_reads += 1
+        breakdown.charge(OperationKind.UPDATE_LEAF, timing.bank_read_cycles)
+        if child_entry is None:
+            # The tag said the child exists but the bank holds nothing: the
+            # tags and the memory image are out of sync, which is a model bug.
+            raise RuntimeError(
+                f"PE {self.pe_id}: tag/memory mismatch at row {row} bank {child_index}"
+            )
+        return child_entry, row
+
+    def _update_parent(self, parent: TreeMemEntry, breakdown: CycleBreakdown) -> None:
+        """Recompute a parent entry from its children row; prune if possible."""
+        timing = self.config.timing
+        children = self.memory.read_row(parent.pointer)
+        self.stats.row_accesses += 1
+        breakdown.charge(OperationKind.UPDATE_PARENTS, timing.row_read_cycles)
+        self.counters.child_reads += 8
+
+        present = [child for child in children if child is not None]
+        if not present:
+            raise RuntimeError(
+                f"PE {self.pe_id}: parent at row {parent.pointer} has no children"
+            )
+
+        # Max-of-children aggregation (eq. (3)).
+        new_value = self.probability_unit.parent_value(
+            child.probability_raw for child in present
+        )
+        breakdown.charge(OperationKind.UPDATE_PARENTS, timing.alu_cycles)
+
+        # Re-derive the status tags from the freshly read children.
+        for index in range(8):
+            child = children[index]
+            if child is None:
+                parent.set_tag(index, ChildStatus.UNKNOWN)
+            elif child.pointer != NULL_POINTER:
+                parent.set_tag(index, ChildStatus.INNER)
+            else:
+                parent.set_tag(index, self.probability_unit.classify(child.probability_raw))
+
+        # Pruning rule: all eight children are leaves with identical values.
+        self.counters.prune_checks += 1
+        breakdown.charge(OperationKind.PRUNE_EXPAND, timing.alu_cycles)
+        prunable = len(present) == 8 and all(
+            child.pointer == NULL_POINTER for child in present
+        ) and all(
+            child.probability_raw == present[0].probability_raw for child in present
+        )
+        if prunable:
+            freed_row = parent.pointer
+            self.memory.clear_row(freed_row)
+            self.stats.row_accesses += 1
+            self.allocator.free_row(freed_row)
+            parent.pointer = NULL_POINTER
+            parent.probability_raw = present[0].probability_raw
+            status = self.probability_unit.classify(parent.probability_raw)
+            for index in range(8):
+                parent.set_tag(index, status)
+            self.counters.prunes += 1
+            self.counters.node_deletions += 8
+            breakdown.charge(
+                OperationKind.PRUNE_EXPAND,
+                timing.row_write_cycles + timing.prune_stack_cycles,
+            )
+        else:
+            parent.probability_raw = new_value
+            self.counters.parent_updates += 1
+
+    # ------------------------------------------------------------------
+    # Voxel query (service used by collision detection etc.)
+    # ------------------------------------------------------------------
+    def query_voxel(self, key: OcTreeKey) -> Tuple[str, Optional[int]]:
+        """Return ``(status, probability_raw)`` for a voxel owned by this PE.
+
+        ``status`` is ``"occupied"``, ``"free"`` or ``"unknown"``;
+        ``probability_raw`` is None for unknown voxels.
+        """
+        timing = self.config.timing
+        cycles = 0
+        path = key.path(self.config.tree_depth)
+        branch = path[0]
+        self.counters.queries += 1
+
+        if branch not in self._local_roots:
+            self.query_cycles += timing.bank_read_cycles
+            return ("unknown", None)
+        entry = self.memory.read_entry(0, self._local_roots[branch])
+        cycles += timing.bank_read_cycles
+        self.stats.bank_reads += 1
+        assert entry is not None
+
+        for child_index in path[1:]:
+            if entry.pointer == NULL_POINTER:
+                # Leaf above the finest depth: homogeneous region (pruned) or
+                # an unobserved fresh node.
+                if all(tag == ChildStatus.UNKNOWN for tag in entry.child_tags):
+                    self.query_cycles += cycles
+                    return ("unknown", None)
+                break
+            if entry.tag(child_index) == ChildStatus.UNKNOWN:
+                self.query_cycles += cycles
+                return ("unknown", None)
+            entry = self.memory.read_entry(entry.pointer, child_index)
+            cycles += timing.bank_read_cycles
+            self.stats.bank_reads += 1
+            if entry is None:
+                raise RuntimeError(f"PE {self.pe_id}: dangling tag during query")
+
+        cycles += timing.alu_cycles
+        self.query_cycles += cycles
+        status = "occupied" if self.probability_unit.is_occupied(entry.probability_raw) else "free"
+        return (status, entry.probability_raw)
+
+    # ------------------------------------------------------------------
+    # Map read-back (verification / host transfer)
+    # ------------------------------------------------------------------
+    def export_nodes(self) -> Iterator[ExportedNode]:
+        """Stream every stored node out of the PE (pre-order).
+
+        The exported paths start at the global root, so nodes from different
+        PEs can be merged directly into one software octree.
+        """
+        for branch, bank in sorted(self._local_roots.items()):
+            entry = self.memory.read_entry(0, bank)
+            if entry is None:
+                continue
+            yield from self._export_recurs(entry, (branch,))
+
+    def _export_recurs(self, entry: TreeMemEntry, path: Tuple[int, ...]) -> Iterator[ExportedNode]:
+        is_leaf = entry.pointer == NULL_POINTER
+        observed = any(tag != ChildStatus.UNKNOWN for tag in entry.child_tags)
+        homogeneous = is_leaf and observed and len(path) < self.config.tree_depth
+        yield ExportedNode(path, entry.probability_raw, is_leaf, homogeneous)
+        if is_leaf:
+            return
+        for child_index in range(8):
+            if entry.tag(child_index) == ChildStatus.UNKNOWN:
+                continue
+            child = self.memory.read_entry(entry.pointer, child_index)
+            if child is None:
+                continue
+            yield from self._export_recurs(child, path + (child_index,))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def nodes_stored(self) -> int:
+        """Number of valid node entries currently held in TreeMem."""
+        return self.memory.occupied_entries() + 0
+
+    def memory_utilization(self) -> float:
+        """Fraction of this PE's SRAM holding live entries."""
+        return self.memory.utilization()
+
+    def busy_cycles(self) -> int:
+        """Cycles of useful work performed so far."""
+        return self.stats.busy_cycles()

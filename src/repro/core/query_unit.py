@@ -1,0 +1,84 @@
+"""Voxel query unit: occupancy look-ups for downstream consumers.
+
+Collision detection and motion planning query the map continuously; the OMU
+therefore exposes a dedicated voxel-query service (Fig. 4 block "Voxel Query",
+Fig. 7).  A query carries a metric coordinate; the unit derives the key,
+issues the look-up to the PE owning the voxel, receives the fixed-point
+probability and classifies it against the occupancy thresholds into
+occupied / free / unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.core.pe import ProcessingElement
+from repro.octomap.logodds import probability as logodds_to_probability
+
+__all__ = ["QueryResult", "VoxelQueryUnit"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one voxel query.
+
+    Attributes:
+        status: ``"occupied"``, ``"free"`` or ``"unknown"``.
+        probability: occupancy probability in [0, 1], or None when unknown.
+        pe_id: PE that served the query.
+        cycles: cycles spent serving the query (issue + PE walk + threshold).
+    """
+
+    status: str
+    probability: Optional[float]
+    pe_id: int
+    cycles: int
+
+
+class VoxelQueryUnit:
+    """Routes occupancy queries to PEs and classifies the results."""
+
+    def __init__(
+        self,
+        config: OMUConfig,
+        address_generator: AddressGenerator,
+        pes: Sequence[ProcessingElement],
+    ) -> None:
+        self.config = config
+        self.address_generator = address_generator
+        self._pes = list(pes)
+        self.queries_served = 0
+        self.total_cycles = 0
+
+    def query(self, x: float, y: float, z: float) -> QueryResult:
+        """Query the occupancy of the voxel containing ``(x, y, z)``."""
+        key = self.address_generator.key_for_point(x, y, z)
+        pe_id = self.address_generator.pe_for_key(key)
+        pe = self._pes[pe_id]
+
+        cycles_before = pe.query_cycles
+        status, raw = pe.query_voxel(key)
+        pe_cycles = pe.query_cycles - cycles_before
+        cycles = self.config.timing.query_issue_cycles + pe_cycles
+
+        probability = None
+        if raw is not None:
+            value = self.config.fixed_point.to_value(raw)
+            probability = logodds_to_probability(value)
+
+        self.queries_served += 1
+        self.total_cycles += cycles
+        return QueryResult(status=status, probability=probability, pe_id=pe_id, cycles=cycles)
+
+    def query_batch(self, points: Sequence[Sequence[float]]) -> Tuple[QueryResult, ...]:
+        """Serve a batch of queries (e.g. the sampled poses of a planned path)."""
+        return tuple(self.query(*point) for point in points)
+
+    def average_cycles_per_query(self) -> float:
+        """Mean query service latency in cycles."""
+        if self.queries_served == 0:
+            return 0.0
+        return self.total_cycles / self.queries_served

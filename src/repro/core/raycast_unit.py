@@ -1,0 +1,155 @@
+"""Hardware ray-casting module and the free / occupied voxel queues.
+
+The OMU front end (Fig. 7) contains a ray-casting module that walks every
+sensor beam through the voxel grid, pushing the traversed (free) voxels and
+the endpoint (occupied) voxels into two queues that feed the voxel scheduler.
+Functionally it reuses the same DDA as the software substrate -- the
+accelerator does not change *what* is computed, only how fast -- and its
+latency is modelled as one cycle per traversed voxel.  The paper notes this
+latency is hidden behind the voxel-update pipeline; the accelerator model
+therefore overlaps it with PE execution and only exposes the excess
+(see :class:`repro.core.timing.ScanTiming`).
+
+The module can be swapped for a more advanced ray-casting accelerator (the
+paper cites Kar et al., VLSI 2020) by replacing :class:`RayCastingUnit` with
+another implementation of the same ``cast_scan`` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.octomap.counters import OperationCounters
+from repro.octomap.keys import OcTreeKey
+from repro.octomap.pointcloud import PointCloud
+from repro.octomap.raycast import compute_ray_keys
+from repro.octomap.scan_insertion import clip_segment_to_volume
+
+__all__ = ["VoxelQueue", "RayCastResultSet", "RayCastingUnit"]
+
+
+class VoxelQueue:
+    """A simple FIFO of voxel keys with a high-water mark.
+
+    Models the free / occupied queues between the ray caster and the voxel
+    scheduler; the high-water mark sizes the hardware FIFO.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._items: List[OcTreeKey] = []
+        self.pushes = 0
+        self.pops = 0
+        self.peak_occupancy = 0
+
+    def push(self, key: OcTreeKey) -> None:
+        """Enqueue one voxel key."""
+        self._items.append(key)
+        self.pushes += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+
+    def pop(self) -> OcTreeKey:
+        """Dequeue the oldest voxel key."""
+        if not self._items:
+            raise IndexError(f"pop from empty voxel queue {self.name!r}")
+        self.pops += 1
+        return self._items.pop(0)
+
+    def drain(self) -> List[OcTreeKey]:
+        """Remove and return every queued key (the scheduler consumes batches)."""
+        items = self._items
+        self.pops += len(items)
+        self._items = []
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class RayCastResultSet:
+    """Free / occupied voxel keys of one scan plus the ray-casting cycles."""
+
+    free_keys: List[OcTreeKey]
+    occupied_keys: List[OcTreeKey]
+    cycles: int
+    beams: int
+
+    def total_updates(self) -> int:
+        """Number of voxel updates this scan will trigger."""
+        return len(self.free_keys) + len(self.occupied_keys)
+
+
+class RayCastingUnit:
+    """Casts every beam of a scan and fills the free / occupied queues."""
+
+    def __init__(self, config: OMUConfig, address_generator: AddressGenerator) -> None:
+        self.config = config
+        self.address_generator = address_generator
+        self.free_queue = VoxelQueue("free")
+        self.occupied_queue = VoxelQueue("occupied")
+        self.counters = OperationCounters()
+        self.total_cycles = 0
+        self.total_beams = 0
+
+    def cast_scan(
+        self,
+        cloud: PointCloud,
+        origin: Sequence[float],
+        max_range: float = -1.0,
+    ) -> RayCastResultSet:
+        """Ray-cast one scan and return the de-duplicated voxel updates.
+
+        The de-duplication (each voxel at most once per scan, occupied wins
+        over free) is the same policy as the software substrate, so both
+        backends perform identical sets of voxel updates -- a precondition for
+        the bit-exact map equivalence the verification harness checks.
+        """
+        converter = self.address_generator.converter
+        free_keys: Set[OcTreeKey] = set()
+        occupied_keys: Set[OcTreeKey] = set()
+        cycles = 0
+        beams = 0
+
+        for point in cloud:
+            beams += 1
+            endpoint = point
+            truncated = False
+            if max_range > 0.0:
+                distance = sum((point[axis] - origin[axis]) ** 2 for axis in range(3)) ** 0.5
+                if distance > max_range:
+                    truncated = True
+                    scale = max_range / distance
+                    endpoint = tuple(
+                        origin[axis] + (point[axis] - origin[axis]) * scale for axis in range(3)
+                    )
+            if not converter.is_coordinate_in_range(*endpoint):
+                endpoint = clip_segment_to_volume(converter, origin, endpoint)
+                truncated = True
+                if endpoint is None:
+                    continue
+            ray_keys = compute_ray_keys(converter, origin, endpoint, counters=self.counters)
+            cycles += len(ray_keys) * self.config.timing.ray_step_cycles
+            free_keys.update(ray_keys)
+            if not truncated:
+                occupied_keys.add(converter.coord_to_key(*endpoint))
+
+        free_keys -= occupied_keys
+        ordered_free = sorted(free_keys)
+        ordered_occupied = sorted(occupied_keys)
+        for key in ordered_free:
+            self.free_queue.push(key)
+        for key in ordered_occupied:
+            self.occupied_queue.push(key)
+
+        self.total_cycles += cycles
+        self.total_beams += beams
+        return RayCastResultSet(
+            free_keys=ordered_free,
+            occupied_keys=ordered_occupied,
+            cycles=cycles,
+            beams=beams,
+        )

@@ -1,0 +1,98 @@
+"""Voxel scheduler: routes voxel updates to the PE owning their subtree.
+
+The scheduler (Section IV-A, Fig. 4 block "Voxel Scheduler") receives the
+stream of free / occupied voxels produced by ray casting, derives each voxel's
+first-level tree branch from its key and issues the update to the matching PE.
+Issuing is serial (one voxel per cycle), while the PEs execute in parallel --
+so the accelerator-level latency of a batch is the scheduler's issue time plus
+the busiest PE's execution time.  The scheduler also tracks the per-PE load so
+the load-balance of a workload can be inspected (an octant-skewed scene
+reduces the achievable parallel speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.octomap.keys import OcTreeKey
+
+__all__ = ["VoxelUpdateRequest", "ScheduledBatch", "VoxelScheduler"]
+
+
+@dataclass(frozen=True)
+class VoxelUpdateRequest:
+    """One voxel update awaiting execution: the key and its measurement."""
+
+    key: OcTreeKey
+    occupied: bool
+
+
+@dataclass
+class ScheduledBatch:
+    """The outcome of scheduling one batch of voxel updates.
+
+    Attributes:
+        per_pe: the update queue assigned to each PE.
+        issue_cycles: cycles the scheduler spent issuing (serial front end).
+    """
+
+    per_pe: Dict[int, List[VoxelUpdateRequest]] = field(default_factory=dict)
+    issue_cycles: int = 0
+
+    def total_updates(self) -> int:
+        """Total number of scheduled voxel updates."""
+        return sum(len(queue) for queue in self.per_pe.values())
+
+    def load_balance(self) -> float:
+        """Busiest-PE share of the work (1 / num_active_pes is perfect).
+
+        Returns 0.0 for an empty batch.
+        """
+        total = self.total_updates()
+        if total == 0:
+            return 0.0
+        return max(len(queue) for queue in self.per_pe.values()) / total
+
+
+class VoxelScheduler:
+    """Assigns voxel updates to PEs by first-level tree branch."""
+
+    def __init__(self, config: OMUConfig, address_generator: AddressGenerator) -> None:
+        self.config = config
+        self.address_generator = address_generator
+        self.issued_updates = 0
+        self.per_pe_issued: Dict[int, int] = {pe: 0 for pe in range(config.num_pes)}
+
+    def schedule(
+        self,
+        free_keys: Sequence[OcTreeKey],
+        occupied_keys: Sequence[OcTreeKey],
+    ) -> ScheduledBatch:
+        """Build the per-PE queues for one scan's worth of voxel updates.
+
+        Free-space updates are issued before occupied updates, mirroring the
+        software insertion order (occupied measurements win when a voxel
+        appears in both streams because they are applied last -- the key sets
+        are already de-duplicated upstream, so in practice each voxel appears
+        once).
+        """
+        batch = ScheduledBatch(per_pe={pe: [] for pe in range(self.config.num_pes)})
+        for key in free_keys:
+            self._issue(batch, VoxelUpdateRequest(key, occupied=False))
+        for key in occupied_keys:
+            self._issue(batch, VoxelUpdateRequest(key, occupied=True))
+        return batch
+
+    def _issue(self, batch: ScheduledBatch, request: VoxelUpdateRequest) -> None:
+        pe = self.address_generator.pe_for_key(request.key)
+        batch.per_pe[pe].append(request)
+        batch.issue_cycles += self.config.timing.scheduler_issue_cycles
+        self.issued_updates += 1
+        self.per_pe_issued[pe] = self.per_pe_issued.get(pe, 0) + 1
+
+    def load_histogram(self) -> Tuple[int, ...]:
+        """Updates issued to each PE since construction (load-balance view)."""
+        return tuple(self.per_pe_issued.get(pe, 0) for pe in range(self.config.num_pes))

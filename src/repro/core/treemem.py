@@ -1,0 +1,248 @@
+"""TreeMem: the banked SRAM that stores the partitioned octree.
+
+Each PE contains eight single-port SRAM banks (T-Mem0 .. T-Mem7).  One *row*
+(the same address across all eight banks) holds the eight children of one
+parent node, child ``i`` living in bank ``i`` -- so a parent update or a
+pruning check fetches all eight children in a single cycle, which is the 8x
+memory-bandwidth improvement of Section IV-B.
+
+Every 64-bit entry packs three fields (paper Fig. 5):
+
+* ``pointer`` (bits [63:32]) -- row address of this node's own children
+  block, or the null pointer if the node is a leaf;
+* ``child_tags`` (bits [31:16]) -- eight 2-bit status tags, one per child:
+  ``00`` unknown, ``01`` occupied, ``10`` free, ``11`` inner node;
+* ``probability`` (bits [15:0]) -- the node's occupancy as a 16-bit
+  fixed-point log-odds value.
+
+The Python model stores entries as small objects for clarity but provides
+exact 64-bit pack/unpack so tests can verify the bit layout, and counts every
+bank access so the timing and energy models can charge them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ChildStatus",
+    "TreeMemEntry",
+    "TreeMemBank",
+    "BankedTreeMemory",
+    "MemoryCapacityError",
+    "NULL_POINTER",
+]
+
+NULL_POINTER = 0xFFFFFFFF
+"""Pointer value marking "no children block" (a leaf node)."""
+
+
+class MemoryCapacityError(RuntimeError):
+    """Raised when a PE's TreeMem runs out of rows for new children blocks."""
+
+
+class ChildStatus(IntEnum):
+    """2-bit per-child status tag stored in the TreeMem entry."""
+
+    UNKNOWN = 0b00
+    OCCUPIED = 0b01
+    FREE = 0b10
+    INNER = 0b11
+
+
+@dataclass
+class TreeMemEntry:
+    """One decoded 64-bit TreeMem entry.
+
+    Attributes:
+        pointer: row address of the children block, or :data:`NULL_POINTER`.
+        child_tags: list of eight :class:`ChildStatus` values.
+        probability_raw: signed fixed-point log-odds value of this node.
+    """
+
+    pointer: int = NULL_POINTER
+    child_tags: List[ChildStatus] = None  # type: ignore[assignment]
+    probability_raw: int = 0
+
+    def __post_init__(self) -> None:
+        if self.child_tags is None:
+            self.child_tags = [ChildStatus.UNKNOWN] * 8
+        if len(self.child_tags) != 8:
+            raise ValueError("child_tags must hold exactly eight tags")
+        if not 0 <= self.pointer <= 0xFFFFFFFF:
+            raise ValueError(f"pointer {self.pointer} does not fit in 32 bits")
+
+    # ------------------------------------------------------------------
+    # Field helpers
+    # ------------------------------------------------------------------
+    def is_leaf(self) -> bool:
+        """True if the node has no children block."""
+        return self.pointer == NULL_POINTER
+
+    def tag(self, child_index: int) -> ChildStatus:
+        """Status tag of child ``child_index`` (0..7)."""
+        return self.child_tags[self._checked(child_index)]
+
+    def set_tag(self, child_index: int, status: ChildStatus) -> None:
+        """Set the status tag of child ``child_index``."""
+        self.child_tags[self._checked(child_index)] = ChildStatus(status)
+
+    def known_children(self) -> Sequence[int]:
+        """Indices of children whose tag is not UNKNOWN."""
+        return [index for index, tag in enumerate(self.child_tags) if tag != ChildStatus.UNKNOWN]
+
+    def copy(self) -> "TreeMemEntry":
+        """Return an independent copy of this entry."""
+        return TreeMemEntry(self.pointer, list(self.child_tags), self.probability_raw)
+
+    @staticmethod
+    def _checked(child_index: int) -> int:
+        if not 0 <= child_index <= 7:
+            raise IndexError(f"child index {child_index} outside [0, 7]")
+        return child_index
+
+    # ------------------------------------------------------------------
+    # 64-bit packing (paper Fig. 5 bit layout)
+    # ------------------------------------------------------------------
+    def pack(self, fixed_point_bits: int = 16) -> int:
+        """Pack the entry into its 64-bit word."""
+        tags_word = 0
+        for index, tag in enumerate(self.child_tags):
+            tags_word |= (int(tag) & 0b11) << (2 * index)
+        probability_word = self.probability_raw & ((1 << fixed_point_bits) - 1)
+        return (self.pointer << 32) | (tags_word << 16) | probability_word
+
+    @classmethod
+    def unpack(cls, word: int, fixed_point_bits: int = 16) -> "TreeMemEntry":
+        """Decode a 64-bit word back into an entry."""
+        if not 0 <= word < (1 << 64):
+            raise ValueError(f"word {word} does not fit in 64 bits")
+        pointer = (word >> 32) & 0xFFFFFFFF
+        tags_word = (word >> 16) & 0xFFFF
+        tags = [ChildStatus((tags_word >> (2 * index)) & 0b11) for index in range(8)]
+        probability_word = word & ((1 << fixed_point_bits) - 1)
+        sign_bit = 1 << (fixed_point_bits - 1)
+        probability_raw = probability_word - (1 << fixed_point_bits) if probability_word & sign_bit else probability_word
+        return cls(pointer, tags, probability_raw)
+
+
+class TreeMemBank:
+    """One single-port SRAM bank of a PE.
+
+    Reads and writes are counted individually; the energy model charges each
+    access and the timing model enforces one access per bank per cycle.
+    """
+
+    def __init__(self, bank_index: int, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("a bank needs at least one entry")
+        self.bank_index = bank_index
+        self.num_entries = num_entries
+        self._entries: List[Optional[TreeMemEntry]] = [None] * num_entries
+        self.read_accesses = 0
+        self.write_accesses = 0
+
+    def read(self, address: int) -> Optional[TreeMemEntry]:
+        """Read the entry at ``address`` (None if never written)."""
+        self._check_address(address)
+        self.read_accesses += 1
+        entry = self._entries[address]
+        return entry.copy() if entry is not None else None
+
+    def write(self, address: int, entry: TreeMemEntry) -> None:
+        """Write ``entry`` at ``address``."""
+        self._check_address(address)
+        self.write_accesses += 1
+        self._entries[address] = entry.copy()
+
+    def clear(self, address: int) -> None:
+        """Invalidate the entry at ``address`` (used when a row is freed)."""
+        self._check_address(address)
+        self.write_accesses += 1
+        self._entries[address] = None
+
+    def occupied_entries(self) -> int:
+        """Number of valid entries currently stored."""
+        return sum(1 for entry in self._entries if entry is not None)
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.num_entries:
+            raise IndexError(
+                f"address {address} outside bank {self.bank_index} "
+                f"(capacity {self.num_entries} entries)"
+            )
+
+
+class BankedTreeMemory:
+    """The eight-bank TreeMem of one PE.
+
+    Provides single-entry accesses (descending the tree touches one bank per
+    level) and full-row accesses (parent update / pruning check reads all
+    eight children at once).
+    """
+
+    def __init__(self, num_banks: int, entries_per_bank: int) -> None:
+        if num_banks != 8:
+            raise ValueError("the child-per-bank layout requires exactly 8 banks")
+        self.num_banks = num_banks
+        self.entries_per_bank = entries_per_bank
+        self.banks = [TreeMemBank(index, entries_per_bank) for index in range(num_banks)]
+        self.row_reads = 0
+        self.row_writes = 0
+
+    # -- single-entry access -------------------------------------------------
+    def read_entry(self, row: int, bank: int) -> Optional[TreeMemEntry]:
+        """Read one child entry (one bank access)."""
+        return self.banks[self._checked_bank(bank)].read(row)
+
+    def write_entry(self, row: int, bank: int, entry: TreeMemEntry) -> None:
+        """Write one child entry (one bank access)."""
+        self.banks[self._checked_bank(bank)].write(row, entry)
+
+    # -- full-row access -----------------------------------------------------
+    def read_row(self, row: int) -> List[Optional[TreeMemEntry]]:
+        """Read the eight children of a block in one (parallel) access."""
+        self.row_reads += 1
+        return [bank.read(row) for bank in self.banks]
+
+    def write_row(self, row: int, entries: Sequence[Optional[TreeMemEntry]]) -> None:
+        """Write the eight children of a block in one (parallel) access."""
+        if len(entries) != self.num_banks:
+            raise ValueError(f"a row write needs {self.num_banks} entries")
+        self.row_writes += 1
+        for bank, entry in zip(self.banks, entries):
+            if entry is None:
+                bank.clear(row)
+            else:
+                bank.write(row, entry)
+
+    def clear_row(self, row: int) -> None:
+        """Invalidate a whole row (when its block is pruned and freed)."""
+        self.row_writes += 1
+        for bank in self.banks:
+            bank.clear(row)
+
+    # -- statistics ------------------------------------------------------------
+    def total_reads(self) -> int:
+        """Total single-bank read accesses (row reads count as 8)."""
+        return sum(bank.read_accesses for bank in self.banks)
+
+    def total_writes(self) -> int:
+        """Total single-bank write accesses (row writes count as 8)."""
+        return sum(bank.write_accesses for bank in self.banks)
+
+    def occupied_entries(self) -> int:
+        """Number of valid entries across all banks."""
+        return sum(bank.occupied_entries() for bank in self.banks)
+
+    def utilization(self) -> float:
+        """Fraction of the PE's SRAM currently holding valid entries."""
+        capacity = self.num_banks * self.entries_per_bank
+        return self.occupied_entries() / capacity if capacity else 0.0
+
+    def _checked_bank(self, bank: int) -> int:
+        if not 0 <= bank < self.num_banks:
+            raise IndexError(f"bank {bank} outside [0, {self.num_banks - 1}]")
+        return bank

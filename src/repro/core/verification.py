@@ -1,0 +1,169 @@
+"""Functional verification: the accelerator must match the software OctoMap.
+
+The OMU accelerator changes the *implementation* of probabilistic occupancy
+mapping, not its mathematics: given the same scans it must produce the same
+map as the single-threaded software library (up to the declared fixed-point
+quantisation).  This module builds both maps from the same scan graph and
+compares them leaf by leaf:
+
+* both trees are canonically pruned, so their leaf structure (key, depth) must
+  match exactly;
+* every leaf's log-odds value must agree within half a fixed-point LSB;
+* every leaf's occupancy classification must agree exactly.
+
+The equivalence report is used by the integration tests and quoted in
+EXPERIMENTS.md as the functional-correctness evidence backing the performance
+claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.accelerator import OMUAccelerator
+from repro.octomap.octree import OccupancyOcTree
+from repro.octomap.pointcloud import ScanGraph
+
+__all__ = ["EquivalenceReport", "build_reference_tree", "compare_trees", "verify_against_software"]
+
+
+@dataclass
+class EquivalenceReport:
+    """Result of comparing an accelerator map against the software reference.
+
+    Attributes:
+        leaves_reference: leaf count of the software tree.
+        leaves_accelerator: leaf count of the exported accelerator tree.
+        structure_mismatches: leaves present in one tree but not the other.
+        value_mismatches: matching leaves whose log-odds differ by more than
+            the tolerance.
+        classification_mismatches: matching leaves classified differently.
+        max_abs_error: largest absolute log-odds difference over matching
+            leaves.
+        tolerance: the log-odds tolerance used (half a fixed-point LSB by
+            default).
+    """
+
+    leaves_reference: int = 0
+    leaves_accelerator: int = 0
+    structure_mismatches: int = 0
+    value_mismatches: int = 0
+    classification_mismatches: int = 0
+    max_abs_error: float = 0.0
+    tolerance: float = 0.0
+    mismatch_examples: List[str] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when the two maps agree everywhere."""
+        return (
+            self.structure_mismatches == 0
+            and self.value_mismatches == 0
+            and self.classification_mismatches == 0
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "EQUIVALENT" if self.equivalent else "MISMATCH"
+        return (
+            f"{verdict}: {self.leaves_reference} reference leaves vs "
+            f"{self.leaves_accelerator} accelerator leaves, "
+            f"{self.structure_mismatches} structure / {self.value_mismatches} value / "
+            f"{self.classification_mismatches} classification mismatches, "
+            f"max |error| = {self.max_abs_error:.3e} (tolerance {self.tolerance:.3e})"
+        )
+
+
+def build_reference_tree(accelerator: OMUAccelerator, graph: ScanGraph, max_range: float = -1.0) -> OccupancyOcTree:
+    """Build the software golden map with the accelerator's quantised parameters.
+
+    Using the quantised parameters keeps every update on the fixed-point grid,
+    so the comparison tolerance can be tight (half an LSB) instead of hiding
+    real bugs behind a loose threshold.
+    """
+    config = accelerator.config
+    quantized = config.quantized_params()
+    tree = OccupancyOcTree(
+        config.resolution_m,
+        tree_depth=config.tree_depth,
+        params=quantized.as_float_params(),
+    )
+    for scan in graph:
+        tree.insert_point_cloud(scan.world_cloud(), scan.origin(), max_range=max_range)
+    tree.prune()
+    return tree
+
+
+def compare_trees(
+    reference: OccupancyOcTree,
+    candidate: OccupancyOcTree,
+    tolerance: float,
+    max_examples: int = 10,
+) -> EquivalenceReport:
+    """Compare two canonically pruned trees leaf by leaf."""
+    report = EquivalenceReport(tolerance=tolerance)
+
+    reference_leaves = _leaf_map(reference)
+    candidate_leaves = _leaf_map(candidate)
+    report.leaves_reference = len(reference_leaves)
+    report.leaves_accelerator = len(candidate_leaves)
+
+    all_locations = set(reference_leaves) | set(candidate_leaves)
+    for location in sorted(all_locations):
+        in_reference = location in reference_leaves
+        in_candidate = location in candidate_leaves
+        if not (in_reference and in_candidate):
+            report.structure_mismatches += 1
+            if len(report.mismatch_examples) < max_examples:
+                side = "software only" if in_reference else "accelerator only"
+                report.mismatch_examples.append(f"leaf {location} present in {side}")
+            continue
+        ref_value = reference_leaves[location]
+        cand_value = candidate_leaves[location]
+        error = abs(ref_value - cand_value)
+        report.max_abs_error = max(report.max_abs_error, error)
+        if error > tolerance:
+            report.value_mismatches += 1
+            if len(report.mismatch_examples) < max_examples:
+                report.mismatch_examples.append(
+                    f"leaf {location}: software {ref_value:.6f} vs accelerator {cand_value:.6f}"
+                )
+        ref_occupied = reference.params.is_occupied(ref_value)
+        cand_occupied = candidate.params.is_occupied(cand_value)
+        if ref_occupied != cand_occupied:
+            report.classification_mismatches += 1
+            if len(report.mismatch_examples) < max_examples:
+                report.mismatch_examples.append(
+                    f"leaf {location}: classification differs "
+                    f"({'occupied' if ref_occupied else 'free'} vs "
+                    f"{'occupied' if cand_occupied else 'free'})"
+                )
+    return report
+
+
+def verify_against_software(
+    accelerator: OMUAccelerator,
+    graph: ScanGraph,
+    max_range: float = -1.0,
+) -> EquivalenceReport:
+    """End-to-end equivalence check on one scan graph.
+
+    Runs the accelerator over the graph (if it has not processed any scans
+    yet), builds the software reference with quantised parameters, exports the
+    accelerator map and compares the two.
+    """
+    if accelerator.scans_processed == 0:
+        accelerator.process_scan_graph(graph, max_range=max_range)
+    reference = build_reference_tree(accelerator, graph, max_range=max_range)
+    exported = accelerator.export_octree()
+    tolerance = accelerator.config.fixed_point.scale / 2.0
+    return compare_trees(reference, exported, tolerance)
+
+
+def _leaf_map(tree: OccupancyOcTree) -> Dict[Tuple[Tuple[int, int, int], int], float]:
+    """Flatten a tree into ``{(key, depth): log-odds}`` over observed leaves."""
+    leaves: Dict[Tuple[Tuple[int, int, int], int], float] = {}
+    for leaf in tree.iter_leafs():
+        leaves[(leaf.key.as_tuple(), leaf.depth)] = leaf.log_odds
+    return leaves

@@ -1,0 +1,101 @@
+"""Plain-text scan-graph file format (reader and writer).
+
+The OctoMap project distributes its datasets as ``.graph`` files: a sequence
+of nodes, each a 6-DoF pose followed by the scan's 3D points.  This module
+implements an equivalent self-describing text format so generated synthetic
+graphs can be cached on disk, shared between benchmark runs, and inspected by
+hand:
+
+```
+# repro-scangraph v1
+# name: <dataset name>
+NODE <x> <y> <z> <roll> <pitch> <yaw>
+<px> <py> <pz>
+...
+NODE ...
+```
+
+Points are expressed in the sensor frame (the pose transforms them into the
+world frame), matching the OctoMap convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.octomap.pointcloud import PointCloud, Pose6D, ScanGraph, ScanNode
+
+__all__ = ["write_scan_graph", "read_scan_graph"]
+
+_HEADER = "# repro-scangraph v1"
+
+
+def write_scan_graph(graph: ScanGraph, path: Union[str, Path]) -> int:
+    """Write a scan graph to ``path``; returns the number of lines written."""
+    lines: List[str] = [_HEADER, f"# name: {graph.name}"]
+    for scan in graph:
+        pose = scan.pose
+        lines.append(
+            "NODE "
+            f"{pose.translation[0]!r} {pose.translation[1]!r} {pose.translation[2]!r} "
+            f"{pose.roll!r} {pose.pitch!r} {pose.yaw!r}"
+        )
+        for x, y, z in scan.cloud:
+            lines.append(f"{x!r} {y!r} {z!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+    return len(lines)
+
+
+def read_scan_graph(path: Union[str, Path]) -> ScanGraph:
+    """Read a scan graph previously written with :func:`write_scan_graph`.
+
+    Raises:
+        ValueError: on malformed files (wrong header, points before the first
+            NODE line, or lines with the wrong number of fields).
+    """
+    text = Path(path).read_text(encoding="ascii")
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise ValueError(f"{path}: not a repro-scangraph file (missing header)")
+
+    name = ""
+    graph_scans: List[ScanNode] = []
+    current_pose: Pose6D | None = None
+    current_points: List[List[float]] = []
+    scan_id = 0
+
+    def flush() -> None:
+        nonlocal scan_id, current_points
+        if current_pose is None:
+            return
+        graph_scans.append(ScanNode(PointCloud(current_points), current_pose, scan_id=scan_id))
+        scan_id += 1
+        current_points = []
+
+    for line_number, raw_line in enumerate(lines[1:], start=2):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# name:"):
+            name = line.partition(":")[2].strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if line.startswith("NODE"):
+            flush()
+            fields = line.split()[1:]
+            if len(fields) != 6:
+                raise ValueError(f"{path}:{line_number}: NODE line needs 6 fields, got {len(fields)}")
+            values = [float(field) for field in fields]
+            current_pose = Pose6D(values[0:3], roll=values[3], pitch=values[4], yaw=values[5])
+            continue
+        if current_pose is None:
+            raise ValueError(f"{path}:{line_number}: point data before the first NODE line")
+        fields = line.split()
+        if len(fields) != 3:
+            raise ValueError(f"{path}:{line_number}: point line needs 3 fields, got {len(fields)}")
+        current_points.append([float(field) for field in fields])
+
+    flush()
+    return ScanGraph(graph_scans, name=name)

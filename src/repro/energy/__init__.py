@@ -1,0 +1,19 @@
+"""12 nm power, energy and area models calibrated to the paper's totals."""
+
+from repro.energy.area_model import AreaModel, AreaParameters, AreaReport
+from repro.energy.power_model import (
+    NOMINAL_SRAM_ACCESSES_PER_CYCLE,
+    PowerModel,
+    PowerReport,
+    TechnologyParameters,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaParameters",
+    "AreaReport",
+    "NOMINAL_SRAM_ACCESSES_PER_CYCLE",
+    "PowerModel",
+    "PowerReport",
+    "TechnologyParameters",
+]

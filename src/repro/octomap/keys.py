@@ -1,0 +1,207 @@
+"""Discretised voxel keys and coordinate conversion.
+
+OctoMap addresses voxels with an ``OcTreeKey``: three unsigned 16-bit integers
+(one per axis) obtained by discretising the metric coordinate at the finest
+tree resolution and offsetting by ``tree_max_val = 2**(depth-1)`` so that the
+origin sits in the middle of the addressable volume.  With the default tree
+depth of 16 the key space is ``[0, 65535]^3``.
+
+The key bits directly encode the path from the root to the leaf: at tree level
+``d`` (0 = root) the child index is built from bit ``depth - 1 - d`` of the
+x, y and z key components.  The OMU accelerator exploits exactly this
+property -- its address-generation module derives per-level child indices from
+the key bits, and its voxel scheduler partitions the tree across PEs using the
+*first-level* child index (the top bit of each component).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["OcTreeKey", "KeyConverter"]
+
+
+@dataclass(frozen=True, order=True)
+class OcTreeKey:
+    """A discretised voxel address (three unsigned 16-bit components)."""
+
+    x: int
+    y: int
+    z: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("x", self.x), ("y", self.y), ("z", self.z)):
+            if not 0 <= value <= 0xFFFF:
+                raise ValueError(f"key component {name}={value} outside [0, 65535]")
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """Return the key as a plain ``(x, y, z)`` tuple."""
+        return (self.x, self.y, self.z)
+
+    def child_index(self, level: int, tree_depth: int) -> int:
+        """Child index (0..7) selected at tree ``level`` on the root-to-leaf path.
+
+        Level 0 is the root's choice among its 8 children; level
+        ``tree_depth - 1`` selects the leaf.  The index packs one bit per axis:
+        bit 0 from x, bit 1 from y, bit 2 from z, matching the OctoMap and
+        OMU child numbering.
+        """
+        if not 0 <= level < tree_depth:
+            raise ValueError(f"level {level} outside [0, {tree_depth - 1}]")
+        bit = tree_depth - 1 - level
+        index = 0
+        if (self.x >> bit) & 1:
+            index |= 1
+        if (self.y >> bit) & 1:
+            index |= 2
+        if (self.z >> bit) & 1:
+            index |= 4
+        return index
+
+    def path(self, tree_depth: int, max_level: int | None = None) -> Tuple[int, ...]:
+        """Sequence of child indices from the root down to ``max_level``.
+
+        Args:
+            tree_depth: total depth of the tree (16 for OctoMap).
+            max_level: last level to include (exclusive); defaults to the full
+                depth, i.e. the path to the leaf.
+        """
+        if max_level is None:
+            max_level = tree_depth
+        return tuple(self.child_index(level, tree_depth) for level in range(max_level))
+
+    def at_depth(self, depth: int, tree_depth: int) -> "OcTreeKey":
+        """Return the key of the ancestor voxel at coarser ``depth``.
+
+        ``depth == tree_depth`` returns the key unchanged; ``depth == 0``
+        returns the root key (all components masked to the top bit pattern of
+        the centre voxel).  Mirrors OctoMap's ``adjustKeyAtDepth``.
+        """
+        if not 0 <= depth <= tree_depth:
+            raise ValueError(f"depth {depth} outside [0, {tree_depth}]")
+        if depth == tree_depth:
+            return self
+        diff = tree_depth - depth
+        mask = (~((1 << diff) - 1)) & 0xFFFF
+        half = 1 << (diff - 1)
+        return OcTreeKey(
+            (self.x & mask) + half,
+            (self.y & mask) + half,
+            (self.z & mask) + half,
+        )
+
+    def neighbours(self) -> Iterator["OcTreeKey"]:
+        """Yield the 6-connected neighbour keys that stay inside the key space."""
+        for dx, dy, dz in (
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+        ):
+            nx, ny, nz = self.x + dx, self.y + dy, self.z + dz
+            if 0 <= nx <= 0xFFFF and 0 <= ny <= 0xFFFF and 0 <= nz <= 0xFFFF:
+                yield OcTreeKey(nx, ny, nz)
+
+
+class KeyConverter:
+    """Converts between metric coordinates and :class:`OcTreeKey` addresses.
+
+    Args:
+        resolution: edge length of a leaf voxel in metres (the paper uses
+            0.2 m for its evaluation and cites 0.1 m as a typical fine
+            resolution).
+        tree_depth: number of tree levels below the root (OctoMap fixes this
+            to 16, giving a 65536^3 voxel address space).
+    """
+
+    def __init__(self, resolution: float, tree_depth: int = 16) -> None:
+        if resolution <= 0.0:
+            raise ValueError(f"resolution must be positive, got {resolution!r}")
+        if not 1 <= tree_depth <= 16:
+            raise ValueError(f"tree_depth must be in [1, 16], got {tree_depth!r}")
+        self._resolution = float(resolution)
+        self._tree_depth = int(tree_depth)
+        self._tree_max_val = 1 << (self._tree_depth - 1)
+
+    @property
+    def resolution(self) -> float:
+        """Leaf voxel edge length in metres."""
+        return self._resolution
+
+    @property
+    def tree_depth(self) -> int:
+        """Number of tree levels below the root."""
+        return self._tree_depth
+
+    @property
+    def tree_max_val(self) -> int:
+        """Key-space offset placing the metric origin at the key-space centre."""
+        return self._tree_max_val
+
+    @property
+    def max_coordinate(self) -> float:
+        """Largest metric coordinate magnitude representable by the key space."""
+        return self._tree_max_val * self._resolution
+
+    def coord_to_key_component(self, coordinate: float) -> int:
+        """Discretise one metric coordinate into one key component.
+
+        Raises:
+            ValueError: if the coordinate falls outside the addressable volume.
+        """
+        component = int(math.floor(coordinate / self._resolution)) + self._tree_max_val
+        limit = 2 * self._tree_max_val
+        if not 0 <= component < limit:
+            raise ValueError(
+                f"coordinate {coordinate!r} outside the mappable volume "
+                f"(+/- {self.max_coordinate} m at resolution {self._resolution} m)"
+            )
+        return component
+
+    def key_component_to_coord(self, component: int, depth: int | None = None) -> float:
+        """Convert one key component back to the voxel-centre coordinate.
+
+        Args:
+            component: key component (already adjusted to ``depth`` if coarser
+                than the full depth).
+            depth: tree depth of the voxel; defaults to the leaf depth.
+        """
+        if depth is None or depth == self._tree_depth:
+            return (component - self._tree_max_val + 0.5) * self._resolution
+        if not 0 <= depth <= self._tree_depth:
+            raise ValueError(f"depth {depth} outside [0, {self._tree_depth}]")
+        node_size = self.node_size(depth)
+        cells = 1 << (self._tree_depth - depth)
+        grid_index = math.floor(component / cells)
+        return (grid_index - self._tree_max_val / cells) * node_size + node_size / 2.0
+
+    def coord_to_key(self, x: float, y: float, z: float) -> OcTreeKey:
+        """Discretise a metric 3D point into its leaf voxel key."""
+        return OcTreeKey(
+            self.coord_to_key_component(x),
+            self.coord_to_key_component(y),
+            self.coord_to_key_component(z),
+        )
+
+    def key_to_coord(self, key: OcTreeKey, depth: int | None = None) -> Tuple[float, float, float]:
+        """Return the metric centre of the voxel addressed by ``key``."""
+        return (
+            self.key_component_to_coord(key.x, depth),
+            self.key_component_to_coord(key.y, depth),
+            self.key_component_to_coord(key.z, depth),
+        )
+
+    def node_size(self, depth: int) -> float:
+        """Metric edge length of a node at tree ``depth`` (0 = root)."""
+        if not 0 <= depth <= self._tree_depth:
+            raise ValueError(f"depth {depth} outside [0, {self._tree_depth}]")
+        return self._resolution * (1 << (self._tree_depth - depth))
+
+    def is_coordinate_in_range(self, x: float, y: float, z: float) -> bool:
+        """True if the point lies inside the addressable volume."""
+        limit = self.max_coordinate
+        return all(-limit <= value < limit for value in (x, y, z))

@@ -1,0 +1,130 @@
+"""Integration-level tests of the OMU accelerator top level."""
+
+import pytest
+
+from repro.core import OMUAccelerator, OMUConfig
+from repro.octomap.counters import OperationKind
+
+
+class TestConstruction:
+    def test_default_construction(self, default_config):
+        accelerator = OMUAccelerator(default_config)
+        assert len(accelerator.pes) == 8
+        assert accelerator.scans_processed == 0
+        assert accelerator.elapsed_seconds() == 0.0
+
+    def test_more_than_eight_pes_rejected(self):
+        with pytest.raises(ValueError):
+            OMUAccelerator(OMUConfig(num_pes=9))
+
+    def test_reduced_pe_count(self):
+        accelerator = OMUAccelerator(OMUConfig(num_pes=2, resolution_m=0.2))
+        assert len(accelerator.pes) == 2
+
+
+class TestScanProcessing:
+    def test_process_scan_returns_timing(self, accelerator, ring_scan):
+        timing = accelerator.process_scan(ring_scan.world_cloud(), ring_scan.origin())
+        assert timing.voxel_updates > 0
+        assert timing.critical_path_cycles() > 0
+        assert timing.pe_cycles_total >= timing.pe_cycles_max
+        assert accelerator.scans_processed == 1
+
+    def test_host_interface_reports_completion(self, accelerator, ring_scan):
+        accelerator.process_scan(ring_scan.world_cloud(), ring_scan.origin())
+        assert accelerator.host.is_done()
+        assert accelerator.host.dma.bytes_transferred > 0
+
+    def test_process_scan_graph_accumulates(self, accelerator, two_scan_graph):
+        total = accelerator.process_scan_graph(two_scan_graph)
+        assert accelerator.scans_processed == 2
+        assert total.voxel_updates == accelerator.map_timing.voxel_updates
+        assert total.voxel_updates > 0
+
+    def test_voxel_updates_split_across_multiple_pes(self, accelerator, ring_scan):
+        accelerator.process_scan(ring_scan.world_cloud(), ring_scan.origin())
+        busy = [pe for pe in accelerator.pes if pe.stats.voxel_updates > 0]
+        assert len(busy) >= 4, "a ring around the origin must touch several octants"
+
+    def test_breakdown_has_all_pipeline_stages(self, accelerator, ring_scan):
+        timing = accelerator.process_scan(ring_scan.world_cloud(), ring_scan.origin())
+        cycles = timing.breakdown.cycles
+        assert cycles[OperationKind.UPDATE_LEAF] > 0
+        assert cycles[OperationKind.UPDATE_PARENTS] > 0
+        assert cycles[OperationKind.PRUNE_EXPAND] >= 0
+
+    def test_prune_share_is_small_on_the_accelerator(self, accelerator, two_scan_graph):
+        """The paper's Fig. 10 claim: prune/expand drops below ~20 % on OMU."""
+        total = accelerator.process_scan_graph(two_scan_graph)
+        fractions = total.breakdown.fractions()
+        assert fractions[OperationKind.PRUNE_EXPAND] < 0.25
+
+    def test_map_level_accounting(self, accelerator, two_scan_graph):
+        accelerator.process_scan_graph(two_scan_graph)
+        assert accelerator.map_critical_path_cycles() > 0
+        assert accelerator.map_cycles_per_update() > 0
+        assert 1.0 <= accelerator.map_parallel_speedup() <= accelerator.config.num_pes
+        assert accelerator.elapsed_seconds() > 0
+
+    def test_pipelined_latency_not_above_barrier_latency(self, accelerator, two_scan_graph):
+        accelerator.process_scan_graph(two_scan_graph)
+        assert accelerator.map_critical_path_cycles() <= accelerator.map_timing.critical_path_cycles()
+
+    def test_max_range_limits_updates(self, default_config, ring_scan):
+        unlimited = OMUAccelerator(default_config)
+        limited = OMUAccelerator(default_config)
+        full = unlimited.process_scan(ring_scan.world_cloud(), ring_scan.origin())
+        truncated = limited.process_scan(ring_scan.world_cloud(), ring_scan.origin(), max_range=1.5)
+        assert truncated.voxel_updates < full.voxel_updates
+
+
+class TestQueriesAndExport:
+    def test_classify_matches_scene(self, loaded_accelerator):
+        assert loaded_accelerator.classify(3.0, 0.1, 0.4) == "occupied"
+        assert loaded_accelerator.classify(1.0, 0.0, 0.4) == "free"
+        assert loaded_accelerator.classify(30.0, 30.0, 30.0) == "unknown"
+
+    def test_query_returns_probability(self, loaded_accelerator):
+        result = loaded_accelerator.query(3.0, 0.1, 0.4)
+        assert result.status == "occupied"
+        assert 0.5 < result.probability <= 1.0
+
+    def test_export_octree_roundtrip(self, loaded_accelerator):
+        tree = loaded_accelerator.export_octree()
+        assert tree.size() > 0
+        assert tree.classify(3.0, 0.1, 0.4) == "occupied"
+        assert tree.classify(1.0, 0.0, 0.4) == "free"
+
+    def test_counters_merge_pes_and_raycaster(self, loaded_accelerator):
+        counters = loaded_accelerator.counters()
+        assert counters.leaf_updates == loaded_accelerator.map_timing.voxel_updates
+        assert counters.ray_steps > 0
+
+    def test_statistics_shape(self, loaded_accelerator):
+        stats = loaded_accelerator.statistics()
+        assert stats.voxel_updates > 0
+        assert stats.sram_reads > 0
+        assert stats.sram_writes > 0
+        assert stats.nodes_stored > 0
+        assert 0.0 < stats.memory_utilization < 1.0
+        assert len(stats.per_pe_cycles) == 8
+
+    def test_occupancy_probability_of_raw(self, loaded_accelerator):
+        params = loaded_accelerator.config.quantized_params()
+        assert loaded_accelerator.occupancy_probability_of(params.raw_hit) == pytest.approx(0.7, abs=0.01)
+
+
+class TestPEScalingBehaviour:
+    def test_fewer_pes_increase_effective_cycles_per_update(self, ring_graph):
+        """Halving the PE count must not make the accelerator faster."""
+        results = {}
+        for num_pes in (1, 8):
+            accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2, num_pes=num_pes))
+            accelerator.process_scan_graph(ring_graph)
+            results[num_pes] = accelerator.map_cycles_per_update()
+        assert results[1] > results[8]
+
+    def test_single_pe_has_no_parallel_speedup(self, ring_graph):
+        accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2, num_pes=1))
+        accelerator.process_scan_graph(ring_graph)
+        assert accelerator.map_parallel_speedup() == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for address generation (key -> PE routing, key -> path)."""
+
+import pytest
+
+from repro.core.address_gen import AddressGenerator
+
+
+@pytest.fixture
+def generator() -> AddressGenerator:
+    return AddressGenerator(resolution_m=0.2, tree_depth=16, num_pes=8)
+
+
+class TestRouting:
+    def test_branch_id_matches_level0_child_index(self, generator):
+        key = generator.key_for_point(1.0, -1.0, 2.0)
+        assert generator.branch_id(key) == key.child_index(0, 16)
+
+    def test_eight_octants_map_to_eight_pes(self, generator):
+        pes = set()
+        for x in (-1.0, 1.0):
+            for y in (-1.0, 1.0):
+                for z in (-1.0, 1.0):
+                    pes.add(generator.pe_for_key(generator.key_for_point(x, y, z)))
+        assert pes == set(range(8))
+
+    def test_same_octant_maps_to_same_pe(self, generator):
+        a = generator.pe_for_key(generator.key_for_point(1.0, 2.0, 3.0))
+        b = generator.pe_for_key(generator.key_for_point(50.0, 60.0, 70.0))
+        assert a == b
+
+    def test_fewer_pes_fold_branches_with_modulo(self):
+        generator = AddressGenerator(0.2, 16, num_pes=2)
+        for x in (-1.0, 1.0):
+            for y in (-1.0, 1.0):
+                for z in (-1.0, 1.0):
+                    pe = generator.pe_for_key(generator.key_for_point(x, y, z))
+                    assert pe in (0, 1)
+
+    def test_single_pe_receives_everything(self):
+        generator = AddressGenerator(0.2, 16, num_pes=1)
+        assert generator.pe_for_key(generator.key_for_point(5.0, -3.0, 1.0)) == 0
+
+    def test_more_than_eight_pes_stays_in_range(self):
+        """With >8 PEs the second tree level refines the mapping.
+
+        For realistic map extents every point sits in the same second-level
+        octant (that level splits at +/-3276.8 m), so only 8 distinct PEs can
+        receive work -- which is why the accelerator caps the PE count at 8.
+        The router must still produce valid indices.
+        """
+        generator = AddressGenerator(0.2, 16, num_pes=16)
+        pes = set()
+        for x in (-10.0, -1.0, 1.0, 10.0):
+            for y in (-10.0, -1.0, 1.0, 10.0):
+                for z in (-10.0, -1.0, 1.0, 10.0):
+                    pes.add(generator.pe_for_key(generator.key_for_point(x, y, z)))
+        assert all(0 <= pe < 16 for pe in pes)
+        assert len(pes) == 8
+
+    def test_invalid_pe_count(self):
+        with pytest.raises(ValueError):
+            AddressGenerator(0.2, 16, num_pes=0)
+
+
+class TestPaths:
+    def test_child_path_skips_the_root_level(self, generator):
+        key = generator.key_for_point(1.0, 2.0, 3.0)
+        assert generator.child_path(key) == key.path(16)[1:]
+        assert len(generator.child_path(key)) == 15
+
+    def test_full_path_has_tree_depth_entries(self, generator):
+        key = generator.key_for_point(1.0, 2.0, 3.0)
+        assert len(generator.full_path(key)) == 16
+
+    def test_keys_for_points_batches(self, generator):
+        points = [(0.1, 0.1, 0.1), (1.0, 1.0, 1.0)]
+        keys = generator.keys_for_points(points)
+        assert len(keys) == 2
+        assert keys[0] == generator.key_for_point(0.1, 0.1, 0.1)
+
+    def test_converter_round_trip(self, generator):
+        key = generator.key_for_point(3.1, -2.7, 0.4)
+        centre = generator.converter.key_to_coord(key)
+        assert generator.key_for_point(*centre) == key

@@ -1,0 +1,91 @@
+"""Unit tests for the accelerator configuration."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, OMUConfig, TimingParams
+
+
+class TestDefaults:
+    def test_paper_organisation(self):
+        config = DEFAULT_CONFIG
+        assert config.num_pes == 8
+        assert config.banks_per_pe == 8
+        assert config.bank_kilobytes == 32
+        assert config.pe_memory_bytes == 256 * 1024
+        assert config.total_memory_bytes == 2 * 1024 * 1024
+
+    def test_paper_operating_point(self):
+        config = DEFAULT_CONFIG
+        assert config.clock_hz == pytest.approx(1.0e9)
+        assert config.voltage_v == pytest.approx(0.8)
+        assert config.technology_nm == 12
+
+    def test_derived_sizes(self):
+        config = DEFAULT_CONFIG
+        assert config.entries_per_bank == 4096
+        assert config.node_capacity == 8 * 8 * 4096
+        assert config.clock_period_s == pytest.approx(1e-9)
+
+    def test_cycles_to_seconds(self):
+        assert DEFAULT_CONFIG.cycles_to_seconds(1_000_000) == pytest.approx(1e-3)
+
+    def test_quantized_params_round_trip(self):
+        quantized = DEFAULT_CONFIG.quantized_params()
+        assert quantized.format is DEFAULT_CONFIG.fixed_point
+        assert quantized.quantization_error() < DEFAULT_CONFIG.fixed_point.scale
+
+
+class TestValidation:
+    def test_bank_count_is_fixed_to_eight(self):
+        with pytest.raises(ValueError):
+            OMUConfig(banks_per_pe=4)
+
+    def test_entry_size_is_fixed_to_eight_bytes(self):
+        with pytest.raises(ValueError):
+            OMUConfig(entry_bytes=4)
+
+    def test_pe_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OMUConfig(num_pes=0)
+
+    def test_resolution_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OMUConfig(resolution_m=0.0)
+
+    def test_clock_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OMUConfig(clock_hz=0.0)
+
+    def test_tree_depth_bounds(self):
+        with pytest.raises(ValueError):
+            OMUConfig(tree_depth=17)
+
+    def test_timing_params_must_be_positive_integers(self):
+        with pytest.raises(ValueError):
+            TimingParams(bank_read_cycles=0)
+        with pytest.raises(ValueError):
+            TimingParams(alu_cycles=-1)
+
+
+class TestCopies:
+    def test_with_pe_count(self):
+        copy = DEFAULT_CONFIG.with_pe_count(4)
+        assert copy.num_pes == 4
+        assert DEFAULT_CONFIG.num_pes == 8
+
+    def test_with_resolution(self):
+        copy = DEFAULT_CONFIG.with_resolution(0.1)
+        assert copy.resolution_m == pytest.approx(0.1)
+
+    def test_with_bank_kilobytes(self):
+        copy = DEFAULT_CONFIG.with_bank_kilobytes(64)
+        assert copy.entries_per_bank == 8192
+
+    def test_with_timing(self):
+        slower = DEFAULT_CONFIG.with_timing(TimingParams(bank_read_cycles=2))
+        assert slower.timing.bank_read_cycles == 2
+        assert DEFAULT_CONFIG.timing.bank_read_cycles == 1
+
+    def test_configs_are_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.num_pes = 4  # type: ignore[misc]

@@ -1,0 +1,89 @@
+"""Unit tests for the AXI register file, DMA model and host interface."""
+
+import pytest
+
+from repro.core import interconnect
+from repro.core.interconnect import DMAEngine, HostInterface, RegisterFile
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        registers = RegisterFile()
+        assert registers.read(interconnect.REG_CONTROL) == 0
+        assert registers.read(interconnect.REG_STATUS) == interconnect.STATUS_IDLE
+
+    def test_write_then_read(self):
+        registers = RegisterFile()
+        registers.write(interconnect.REG_NUM_POINTS, 1234)
+        assert registers.read(interconnect.REG_NUM_POINTS) == 1234
+
+    def test_unknown_offset_rejected(self):
+        registers = RegisterFile()
+        with pytest.raises(KeyError):
+            registers.read(0x40)
+        with pytest.raises(KeyError):
+            registers.write(0x40, 0)
+
+    def test_value_must_fit_32_bits(self):
+        registers = RegisterFile()
+        with pytest.raises(ValueError):
+            registers.write(interconnect.REG_NUM_POINTS, 1 << 32)
+
+    def test_access_counters(self):
+        registers = RegisterFile()
+        registers.write(interconnect.REG_CONTROL, 1)
+        registers.read(interconnect.REG_CONTROL)
+        assert registers.writes == 1
+        assert registers.reads == 1
+
+    def test_cycle_counter_spans_two_registers(self):
+        registers = RegisterFile()
+        registers.set_cycle_count((5 << 32) | 7)
+        assert registers.read(interconnect.REG_CYCLES_LOW) == 7
+        assert registers.read(interconnect.REG_CYCLES_HIGH) == 5
+
+
+class TestDMAEngine:
+    def test_transfer_accounts_bytes_and_cycles(self):
+        dma = DMAEngine(bus_bytes_per_cycle=8)
+        cycles = dma.transfer(64)
+        assert cycles == 8
+        assert dma.bytes_transferred == 64
+        assert dma.transfers == 1
+
+    def test_partial_beat_rounds_up(self):
+        dma = DMAEngine(bus_bytes_per_cycle=8)
+        assert dma.transfer(65) == 9
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DMAEngine().transfer(-1)
+
+
+class TestHostInterface:
+    def test_configure_programs_scan_registers(self):
+        host = HostInterface()
+        host.configure(0.2, 15.0, (1.0, -2.0, 0.5))
+        assert host.registers.read(interconnect.REG_RESOLUTION) == 200
+        assert host.registers.read(interconnect.REG_MAX_RANGE) == 15000
+        assert host.registers.read(interconnect.REG_ORIGIN_X) == 1000
+
+    def test_negative_origin_is_encoded_two_complement(self):
+        host = HostInterface()
+        host.configure(0.2, -1.0, (0.0, -2.0, 0.0))
+        assert host.registers.read(interconnect.REG_ORIGIN_Y) == (-2000) & 0xFFFFFFFF
+
+    def test_stream_points_counts_dma_bytes(self):
+        host = HostInterface()
+        cycles = host.stream_points(1000)
+        assert host.registers.read(interconnect.REG_NUM_POINTS) == 1000
+        assert host.dma.bytes_transferred == 1000 * HostInterface.POINT_BYTES
+        assert cycles > 0
+
+    def test_start_finish_status_protocol(self):
+        host = HostInterface()
+        host.start()
+        assert not host.is_done()
+        host.finish(cycles=123)
+        assert host.is_done()
+        assert host.registers.read(interconnect.REG_CYCLES_LOW) == 123

@@ -1,0 +1,72 @@
+"""Unit tests for the fixed-point probability update unit."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.probability_unit import ProbabilityUpdateUnit
+from repro.core.treemem import ChildStatus
+
+
+@pytest.fixture
+def unit() -> ProbabilityUpdateUnit:
+    return ProbabilityUpdateUnit(DEFAULT_CONFIG.quantized_params())
+
+
+class TestLeafUpdate:
+    def test_hit_increases_value(self, unit):
+        assert unit.update_leaf(0, occupied=True) > 0
+
+    def test_miss_decreases_value(self, unit):
+        assert unit.update_leaf(0, occupied=False) < 0
+
+    def test_updates_clamp(self, unit):
+        params = unit.params
+        value = 0
+        for _ in range(200):
+            value = unit.update_leaf(value, occupied=True)
+        assert value == params.raw_clamp_max
+        for _ in range(200):
+            value = unit.update_leaf(value, occupied=False)
+        assert value == params.raw_clamp_min
+
+    def test_leaf_updates_are_counted(self, unit):
+        unit.update_leaf(0, True)
+        unit.update_leaf(0, False)
+        assert unit.leaf_updates == 2
+
+
+class TestParentValue:
+    def test_parent_takes_the_maximum(self, unit):
+        assert unit.parent_value([-100, 5, 30, -2]) == 30
+
+    def test_single_child(self, unit):
+        assert unit.parent_value([7]) == 7
+
+    def test_no_children_raises(self, unit):
+        with pytest.raises(ValueError):
+            unit.parent_value([])
+
+    def test_max_operations_counted(self, unit):
+        unit.parent_value([1, 2])
+        unit.parent_value([3])
+        assert unit.max_operations == 2
+
+
+class TestClassification:
+    def test_positive_value_is_occupied(self, unit):
+        assert unit.classify(unit.params.raw_hit) == ChildStatus.OCCUPIED
+        assert unit.is_occupied(unit.params.raw_hit)
+
+    def test_negative_value_is_free(self, unit):
+        assert unit.classify(unit.params.raw_miss) == ChildStatus.FREE
+        assert not unit.is_occupied(unit.params.raw_miss)
+
+    def test_zero_is_free_by_threshold(self, unit):
+        # log-odds 0 equals probability 0.5, which is not strictly above the
+        # occupancy threshold, so it classifies as free (matches OctoMap).
+        assert unit.classify(0) == ChildStatus.FREE
+
+    def test_classifications_counted(self, unit):
+        unit.classify(1)
+        unit.classify(-1)
+        assert unit.classifications == 2

@@ -1,0 +1,97 @@
+"""Unit tests for the hardware ray-casting module and voxel queues."""
+
+import pytest
+
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.core.raycast_unit import RayCastingUnit, VoxelQueue
+from repro.octomap.keys import OcTreeKey
+from repro.octomap.pointcloud import PointCloud
+from repro.octomap.scan_insertion import compute_update_keys
+from repro.octomap.octree import OccupancyOcTree
+
+
+@pytest.fixture
+def config() -> OMUConfig:
+    return OMUConfig(resolution_m=0.2)
+
+
+@pytest.fixture
+def unit(config: OMUConfig) -> RayCastingUnit:
+    generator = AddressGenerator(config.resolution_m, config.tree_depth, config.num_pes)
+    return RayCastingUnit(config, generator)
+
+
+class TestVoxelQueue:
+    def test_push_pop_fifo_order(self):
+        queue = VoxelQueue("free")
+        keys = [OcTreeKey(i, 0, 0) for i in range(3)]
+        for key in keys:
+            queue.push(key)
+        assert [queue.pop() for _ in range(3)] == keys
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            VoxelQueue("free").pop()
+
+    def test_drain_empties_the_queue(self):
+        queue = VoxelQueue("occupied")
+        for i in range(5):
+            queue.push(OcTreeKey(i, 0, 0))
+        drained = queue.drain()
+        assert len(drained) == 5
+        assert len(queue) == 0
+        assert queue.pops == 5
+
+    def test_peak_occupancy_high_water_mark(self):
+        queue = VoxelQueue("free")
+        for i in range(4):
+            queue.push(OcTreeKey(i, 0, 0))
+        queue.pop()
+        queue.push(OcTreeKey(9, 0, 0))
+        assert queue.peak_occupancy == 4
+
+
+class TestCastScan:
+    def test_free_and_occupied_are_disjoint(self, unit, ring_cloud):
+        result = unit.cast_scan(ring_cloud, (0.0, 0.0, 0.0))
+        assert set(result.free_keys).isdisjoint(result.occupied_keys)
+        assert result.total_updates() == len(result.free_keys) + len(result.occupied_keys)
+
+    def test_cycles_proportional_to_traversed_voxels(self, unit, ring_cloud):
+        result = unit.cast_scan(ring_cloud, (0.0, 0.0, 0.0))
+        assert result.cycles >= len(result.free_keys)
+        assert result.beams == len(ring_cloud)
+
+    def test_queues_are_filled(self, unit, ring_cloud):
+        result = unit.cast_scan(ring_cloud, (0.0, 0.0, 0.0))
+        assert unit.free_queue.pushes == len(result.free_keys)
+        assert unit.occupied_queue.pushes == len(result.occupied_keys)
+
+    def test_matches_the_software_key_sets(self, unit, ring_cloud, config):
+        """The accelerator front end and the software insertion agree exactly."""
+        result = unit.cast_scan(ring_cloud, (0.0, 0.0, 0.0))
+        tree = OccupancyOcTree(config.resolution_m)
+        free_sw, occupied_sw = compute_update_keys(tree, ring_cloud, (0.0, 0.0, 0.0))
+        assert set(result.free_keys) == free_sw
+        assert set(result.occupied_keys) == occupied_sw
+
+    def test_max_range_truncation_matches_software(self, unit, config):
+        cloud = PointCloud([(10.0, 0.0, 0.0), (0.0, 12.0, 0.0)])
+        result = unit.cast_scan(cloud, (0.0, 0.0, 0.0), max_range=3.0)
+        tree = OccupancyOcTree(config.resolution_m)
+        free_sw, occupied_sw = compute_update_keys(tree, cloud, (0.0, 0.0, 0.0), max_range=3.0)
+        assert set(result.free_keys) == free_sw
+        assert set(result.occupied_keys) == occupied_sw
+        assert not result.occupied_keys
+
+    def test_accumulates_totals_across_scans(self, unit, ring_cloud):
+        unit.cast_scan(ring_cloud, (0.0, 0.0, 0.0))
+        unit.cast_scan(ring_cloud, (0.5, 0.0, 0.0))
+        assert unit.total_beams == 2 * len(ring_cloud)
+        assert unit.total_cycles > 0
+
+    def test_empty_cloud(self, unit):
+        result = unit.cast_scan(PointCloud(), (0.0, 0.0, 0.0))
+        assert result.total_updates() == 0
+        assert result.cycles == 0

@@ -1,0 +1,84 @@
+"""Unit tests for the voxel scheduler (first-level-branch partitioning)."""
+
+import pytest
+
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.core.scheduler import VoxelScheduler, VoxelUpdateRequest
+
+
+@pytest.fixture
+def config() -> OMUConfig:
+    return OMUConfig(resolution_m=0.2)
+
+
+@pytest.fixture
+def scheduler(config: OMUConfig) -> VoxelScheduler:
+    generator = AddressGenerator(config.resolution_m, config.tree_depth, config.num_pes)
+    return VoxelScheduler(config, generator)
+
+
+def octant_keys(scheduler):
+    """One key per octant."""
+    generator = scheduler.address_generator
+    keys = []
+    for x in (-1.0, 1.0):
+        for y in (-1.0, 1.0):
+            for z in (-1.0, 1.0):
+                keys.append(generator.key_for_point(x, y, z))
+    return keys
+
+
+class TestScheduling:
+    def test_every_pe_gets_a_queue(self, scheduler):
+        batch = scheduler.schedule([], [])
+        assert set(batch.per_pe) == set(range(8))
+        assert batch.total_updates() == 0
+
+    def test_keys_are_routed_by_octant(self, scheduler):
+        keys = octant_keys(scheduler)
+        batch = scheduler.schedule(keys, [])
+        non_empty = [pe for pe, queue in batch.per_pe.items() if queue]
+        assert len(non_empty) == 8
+        assert all(len(queue) == 1 for queue in batch.per_pe.values())
+
+    def test_free_then_occupied_order_within_a_pe(self, scheduler):
+        generator = scheduler.address_generator
+        free_key = generator.key_for_point(1.0, 1.0, 1.0)
+        occupied_key = generator.key_for_point(2.0, 2.0, 2.0)
+        batch = scheduler.schedule([free_key], [occupied_key])
+        pe = generator.pe_for_key(free_key)
+        queue = batch.per_pe[pe]
+        assert queue[0] == VoxelUpdateRequest(free_key, occupied=False)
+        assert queue[1] == VoxelUpdateRequest(occupied_key, occupied=True)
+
+    def test_issue_cycles_are_one_per_voxel(self, scheduler):
+        keys = octant_keys(scheduler)
+        batch = scheduler.schedule(keys, keys[:3])
+        assert batch.issue_cycles == (len(keys) + 3) * scheduler.config.timing.scheduler_issue_cycles
+
+    def test_issued_counters_accumulate_across_batches(self, scheduler):
+        keys = octant_keys(scheduler)
+        scheduler.schedule(keys, [])
+        scheduler.schedule([], keys)
+        assert scheduler.issued_updates == 2 * len(keys)
+        assert sum(scheduler.load_histogram()) == 2 * len(keys)
+
+    def test_load_balance_metric(self, scheduler):
+        keys = octant_keys(scheduler)
+        balanced = scheduler.schedule(keys, [])
+        assert balanced.load_balance() == pytest.approx(1.0 / 8.0)
+        skewed = scheduler.schedule([keys[0]] * 10, [])
+        assert skewed.load_balance() == pytest.approx(1.0)
+
+    def test_load_balance_of_empty_batch(self, scheduler):
+        assert scheduler.schedule([], []).load_balance() == 0.0
+
+    def test_reduced_pe_count_routes_modulo(self):
+        config = OMUConfig(resolution_m=0.2, num_pes=2)
+        generator = AddressGenerator(config.resolution_m, config.tree_depth, config.num_pes)
+        scheduler = VoxelScheduler(config, generator)
+        keys = octant_keys(scheduler)
+        batch = scheduler.schedule(keys, [])
+        assert set(batch.per_pe) == {0, 1}
+        assert batch.total_updates() == len(keys)

@@ -1,0 +1,94 @@
+"""Functional equivalence tests: the accelerator vs the software golden model.
+
+These are the most important tests of the reproduction -- they establish that
+the OMU model computes *exactly* the same probabilistic map as the OctoMap
+software library (with quantised parameters), which is the premise behind
+comparing only their performance.
+"""
+
+import pytest
+
+from repro.core import OMUAccelerator, OMUConfig
+from repro.core.verification import (
+    build_reference_tree,
+    compare_trees,
+    verify_against_software,
+)
+from repro.octomap.octree import OccupancyOcTree
+
+
+class TestCompareTrees:
+    def test_identical_trees_are_equivalent(self, small_tree):
+        report = compare_trees(small_tree, small_tree, tolerance=1e-9)
+        assert report.equivalent
+        assert report.structure_mismatches == 0
+        assert report.max_abs_error == 0.0
+        assert "EQUIVALENT" in report.summary()
+
+    def test_missing_leaf_is_a_structure_mismatch(self, small_tree):
+        other = OccupancyOcTree(small_tree.resolution)
+        report = compare_trees(small_tree, other, tolerance=1e-9)
+        assert not report.equivalent
+        assert report.structure_mismatches == report.leaves_reference
+        assert report.mismatch_examples
+
+    def test_value_difference_is_detected(self):
+        reference = OccupancyOcTree(0.2)
+        candidate = OccupancyOcTree(0.2)
+        reference.update_node(1.0, 1.0, 1.0, occupied=True)
+        candidate.update_node(1.0, 1.0, 1.0, occupied=True)
+        candidate.update_node(1.0, 1.0, 1.0, occupied=True)
+        report = compare_trees(reference, candidate, tolerance=1e-6)
+        assert report.value_mismatches == 1
+        assert not report.equivalent
+
+    def test_classification_difference_is_detected(self):
+        reference = OccupancyOcTree(0.2)
+        candidate = OccupancyOcTree(0.2)
+        reference.update_node(1.0, 1.0, 1.0, occupied=True)
+        candidate.update_node(1.0, 1.0, 1.0, occupied=False)
+        report = compare_trees(reference, candidate, tolerance=10.0)
+        assert report.classification_mismatches == 1
+
+    def test_mismatch_examples_are_bounded(self, small_tree):
+        other = OccupancyOcTree(small_tree.resolution)
+        report = compare_trees(small_tree, other, tolerance=1e-9, max_examples=3)
+        assert len(report.mismatch_examples) == 3
+
+
+class TestEndToEndEquivalence:
+    def test_single_scan_equivalence(self, default_config, ring_graph):
+        accelerator = OMUAccelerator(default_config)
+        report = verify_against_software(accelerator, ring_graph)
+        assert report.equivalent, report.summary()
+        assert report.max_abs_error <= report.tolerance
+
+    def test_multi_scan_equivalence_with_revisits(self, default_config, two_scan_graph):
+        """Revisited voxels exercise pruning and expansion on both backends."""
+        accelerator = OMUAccelerator(default_config)
+        report = verify_against_software(accelerator, two_scan_graph)
+        assert report.equivalent, report.summary()
+
+    def test_equivalence_with_max_range(self, default_config, ring_graph):
+        accelerator = OMUAccelerator(default_config)
+        report = verify_against_software(accelerator, ring_graph, max_range=2.0)
+        assert report.equivalent, report.summary()
+
+    def test_equivalence_with_fewer_pes(self, ring_graph):
+        accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2, num_pes=2))
+        report = verify_against_software(accelerator, ring_graph)
+        assert report.equivalent, report.summary()
+
+    def test_reference_tree_uses_quantised_parameters(self, default_config, ring_graph):
+        accelerator = OMUAccelerator(default_config)
+        accelerator.process_scan_graph(ring_graph)
+        reference = build_reference_tree(accelerator, ring_graph)
+        quantized = default_config.quantized_params()
+        assert reference.params.log_odds_hit == pytest.approx(
+            default_config.fixed_point.to_value(quantized.raw_hit), abs=1e-9
+        )
+
+    def test_exported_leaf_count_matches_reference(self, default_config, two_scan_graph):
+        accelerator = OMUAccelerator(default_config)
+        report = verify_against_software(accelerator, two_scan_graph)
+        assert report.leaves_accelerator == report.leaves_reference

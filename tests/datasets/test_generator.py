@@ -1,0 +1,96 @@
+"""Unit tests for scan-graph generation and the scan-graph file format."""
+
+import pytest
+
+from repro.datasets.catalog import FR079_CORRIDOR, dataset_by_name
+from repro.datasets.generator import (
+    GenerationSpec,
+    generate_named_graph,
+    generate_scan_graph,
+    trajectory_for_scene,
+)
+
+
+class TestTrajectories:
+    @pytest.mark.parametrize("scene_name", ["corridor", "campus", "college"])
+    def test_requested_number_of_poses(self, scene_name):
+        poses = trajectory_for_scene(scene_name, 5)
+        assert len(poses) == 5
+
+    def test_sensor_travels_at_z_zero(self):
+        for scene_name in ("corridor", "campus", "college"):
+            for pose in trajectory_for_scene(scene_name, 4):
+                assert pose.translation[2] == pytest.approx(0.0)
+
+    def test_corridor_trajectory_spans_both_x_signs(self):
+        xs = [pose.translation[0] for pose in trajectory_for_scene("corridor", 5)]
+        assert min(xs) < 0.0 < max(xs)
+
+    def test_campus_trajectory_is_a_loop(self):
+        poses = trajectory_for_scene("campus", 8)
+        radii = [
+            (pose.translation[0] ** 2 + pose.translation[1] ** 2) ** 0.5 for pose in poses
+        ]
+        assert all(radius == pytest.approx(18.0, abs=0.01) for radius in radii)
+
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(KeyError):
+            trajectory_for_scene("space-station", 3)
+
+
+class TestGenerationSpec:
+    def test_defaults_are_valid(self):
+        spec = GenerationSpec()
+        assert spec.num_scans >= 1
+
+    def test_zero_scans_rejected(self):
+        with pytest.raises(ValueError):
+            GenerationSpec(num_scans=0)
+
+
+class TestGenerateScanGraph:
+    def test_graph_has_requested_scans(self):
+        spec = GenerationSpec(num_scans=3, beams_azimuth=60, beams_elevation=2, max_range_m=12.0)
+        graph = generate_scan_graph(FR079_CORRIDOR, spec)
+        assert len(graph) == 3
+        assert graph.name == FR079_CORRIDOR.name
+
+    def test_scans_contain_points(self):
+        spec = GenerationSpec(num_scans=2, beams_azimuth=60, beams_elevation=2, max_range_m=12.0)
+        graph = generate_scan_graph(FR079_CORRIDOR, spec)
+        assert graph.total_points() > 0
+        for scan in graph:
+            assert len(scan) > 10
+
+    def test_generation_is_deterministic(self):
+        spec = GenerationSpec(num_scans=2, beams_azimuth=48, beams_elevation=2, max_range_m=12.0, dropout=0.3, seed=7)
+        first = generate_scan_graph(FR079_CORRIDOR, spec)
+        second = generate_scan_graph(FR079_CORRIDOR, spec)
+        assert first.total_points() == second.total_points()
+
+    def test_more_beams_give_more_points(self):
+        small = GenerationSpec(num_scans=2, beams_azimuth=36, beams_elevation=2, max_range_m=12.0)
+        large = GenerationSpec(num_scans=2, beams_azimuth=144, beams_elevation=2, max_range_m=12.0)
+        assert (
+            generate_scan_graph(FR079_CORRIDOR, large).total_points()
+            > generate_scan_graph(FR079_CORRIDOR, small).total_points()
+        )
+
+    def test_generate_named_graph_convenience(self):
+        descriptor, graph = generate_named_graph(
+            "corridor", num_scans=2, beams_azimuth=48, beams_elevation=2, max_range_m=12.0
+        )
+        assert descriptor is dataset_by_name("corridor")
+        assert len(graph) == 2
+
+    @pytest.mark.parametrize("name", ["FR-079 corridor", "Freiburg campus", "New College"])
+    def test_every_dataset_generates_world_points_in_all_octants(self, name):
+        """The synthetic workloads must exercise every first-level branch."""
+        descriptor, graph = generate_named_graph(
+            name, num_scans=4, beams_azimuth=60, beams_elevation=3, max_range_m=15.0
+        )
+        octants = set()
+        for scan in graph:
+            for x, y, z in scan.world_cloud():
+                octants.add((x > 0, y > 0, z > 0))
+        assert len(octants) == 8

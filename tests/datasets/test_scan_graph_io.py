@@ -1,0 +1,92 @@
+"""Unit tests for the scan-graph text file format."""
+
+import pytest
+
+from repro.datasets.scan_graph_io import read_scan_graph, write_scan_graph
+from repro.octomap.pointcloud import PointCloud, Pose6D, ScanGraph, ScanNode
+
+
+@pytest.fixture
+def sample_graph() -> ScanGraph:
+    scans = [
+        ScanNode(
+            PointCloud([(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]),
+            Pose6D((0.5, -0.5, 0.0), roll=0.1, pitch=-0.2, yaw=1.5),
+            scan_id=0,
+        ),
+        ScanNode(PointCloud([(7.0, 8.0, 9.0)]), Pose6D((1.0, 1.0, 0.0)), scan_id=1),
+    ]
+    return ScanGraph(scans, name="sample graph")
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_scan_graph(sample_graph, path)
+        restored = read_scan_graph(path)
+        assert restored.name == "sample graph"
+        assert len(restored) == 2
+        assert restored.total_points() == 3
+
+    def test_roundtrip_preserves_points_exactly(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_scan_graph(sample_graph, path)
+        restored = read_scan_graph(path)
+        assert list(restored[0].cloud) == list(sample_graph[0].cloud)
+
+    def test_roundtrip_preserves_poses_exactly(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_scan_graph(sample_graph, path)
+        restored = read_scan_graph(path)
+        assert restored[0].pose.translation == sample_graph[0].pose.translation
+        assert restored[0].pose.yaw == sample_graph[0].pose.yaw
+        assert restored[0].pose.roll == sample_graph[0].pose.roll
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_scan_graph(ScanGraph(name="empty"), path)
+        restored = read_scan_graph(path)
+        assert len(restored) == 0
+        assert restored.name == "empty"
+
+    def test_scan_with_no_points_roundtrip(self, tmp_path):
+        graph = ScanGraph([ScanNode(PointCloud(), Pose6D((1.0, 2.0, 3.0)))], name="x")
+        path = tmp_path / "nopoints.txt"
+        write_scan_graph(graph, path)
+        restored = read_scan_graph(path)
+        assert len(restored) == 1
+        assert len(restored[0]) == 0
+
+
+class TestErrorHandling:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("NODE 0 0 0 0 0 0\n")
+        with pytest.raises(ValueError, match="header"):
+            read_scan_graph(path)
+
+    def test_points_before_first_node_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-scangraph v1\n1.0 2.0 3.0\n")
+        with pytest.raises(ValueError, match="before the first NODE"):
+            read_scan_graph(path)
+
+    def test_malformed_node_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-scangraph v1\nNODE 0 0 0\n")
+        with pytest.raises(ValueError, match="6 fields"):
+            read_scan_graph(path)
+
+    def test_malformed_point_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# repro-scangraph v1\nNODE 0 0 0 0 0 0\n1.0 2.0\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            read_scan_graph(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ok.txt"
+        path.write_text(
+            "# repro-scangraph v1\n# a comment\n\nNODE 0 0 0 0 0 0\n# another\n1.0 2.0 3.0\n"
+        )
+        graph = read_scan_graph(path)
+        assert graph.total_points() == 1

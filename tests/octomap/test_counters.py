@@ -1,0 +1,76 @@
+"""Unit tests for the operation counters."""
+
+import pytest
+
+from repro.octomap.counters import OperationCounters, OperationKind
+
+
+class TestOperationKind:
+    def test_ordered_stages_match_the_paper(self):
+        assert OperationKind.ordered() == (
+            OperationKind.RAY_CASTING,
+            OperationKind.UPDATE_LEAF,
+            OperationKind.UPDATE_PARENTS,
+            OperationKind.PRUNE_EXPAND,
+        )
+
+    def test_values_are_stable_strings(self):
+        assert OperationKind.PRUNE_EXPAND.value == "prune_expand"
+
+
+class TestOperationCounters:
+    def test_fresh_counters_are_zero(self):
+        counters = OperationCounters()
+        assert all(value == 0 for value in counters.as_dict().values())
+        assert counters.voxel_updates == 0
+
+    def test_reset(self):
+        counters = OperationCounters(leaf_updates=5, prunes=2)
+        counters.extra["custom"] = 3
+        counters.reset()
+        assert counters.leaf_updates == 0
+        assert counters.extra == {}
+
+    def test_merge_accumulates_all_fields(self):
+        a = OperationCounters(leaf_updates=1, ray_steps=2, child_reads=8)
+        b = OperationCounters(leaf_updates=3, prunes=1)
+        b.extra["pe_updates"] = 7
+        a.merge(b)
+        assert a.leaf_updates == 4
+        assert a.ray_steps == 2
+        assert a.prunes == 1
+        assert a.extra["pe_updates"] == 7
+
+    def test_merge_extra_accumulates(self):
+        a = OperationCounters()
+        a.extra["x"] = 1
+        b = OperationCounters()
+        b.extra["x"] = 2
+        a.merge(b)
+        assert a.extra["x"] == 3
+
+    def test_copy_is_independent(self):
+        original = OperationCounters(leaf_updates=1)
+        duplicate = original.copy()
+        duplicate.leaf_updates = 99
+        duplicate.extra["y"] = 1
+        assert original.leaf_updates == 1
+        assert "y" not in original.extra
+
+    def test_voxel_updates_alias(self):
+        assert OperationCounters(leaf_updates=42).voxel_updates == 42
+
+    def test_counts_by_stage_covers_all_stages(self):
+        counters = OperationCounters(
+            ray_steps=10, leaf_updates=5, parent_updates=7, prune_checks=3, prunes=1, expansions=2
+        )
+        by_stage = counters.counts_by_stage()
+        assert by_stage[OperationKind.RAY_CASTING] == 10
+        assert by_stage[OperationKind.UPDATE_LEAF] == 5
+        assert by_stage[OperationKind.UPDATE_PARENTS] == 7
+        assert by_stage[OperationKind.PRUNE_EXPAND] == 6
+
+    def test_as_dict_includes_extra(self):
+        counters = OperationCounters()
+        counters.extra["bank_conflicts"] = 4
+        assert counters.as_dict()["bank_conflicts"] == 4

@@ -1,0 +1,145 @@
+"""Unit tests for point clouds, poses, scan nodes and scan graphs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.octomap.pointcloud import PointCloud, Pose6D, ScanGraph, ScanNode
+
+
+class TestPointCloud:
+    def test_empty_cloud(self):
+        cloud = PointCloud()
+        assert len(cloud) == 0
+        assert list(cloud) == []
+
+    def test_construction_from_list(self):
+        cloud = PointCloud([(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)])
+        assert len(cloud) == 2
+        assert cloud[1] == (4.0, 5.0, 6.0)
+
+    def test_construction_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((3, 2)))
+
+    def test_append_and_extend(self):
+        cloud = PointCloud()
+        cloud.append(1.0, 1.0, 1.0)
+        cloud.extend([(2.0, 2.0, 2.0), (3.0, 3.0, 3.0)])
+        assert len(cloud) == 3
+
+    def test_extend_empty_is_noop(self):
+        cloud = PointCloud([(1.0, 1.0, 1.0)])
+        cloud.extend([])
+        assert len(cloud) == 1
+
+    def test_iteration_yields_tuples(self):
+        cloud = PointCloud([(1.0, 2.0, 3.0)])
+        assert next(iter(cloud)) == (1.0, 2.0, 3.0)
+
+    def test_transformed_translation_only(self):
+        cloud = PointCloud([(1.0, 0.0, 0.0)])
+        moved = cloud.transformed(Pose6D((0.0, 0.0, 5.0)))
+        assert moved[0] == pytest.approx((1.0, 0.0, 5.0))
+
+    def test_transformed_yaw_rotation(self):
+        cloud = PointCloud([(1.0, 0.0, 0.0)])
+        rotated = cloud.transformed(Pose6D(yaw=math.pi / 2.0))
+        assert rotated[0] == pytest.approx((0.0, 1.0, 0.0), abs=1e-12)
+
+    def test_subsampled_limits_size_and_is_deterministic(self):
+        cloud = PointCloud([(float(i), 0.0, 0.0) for i in range(100)])
+        sub_a = cloud.subsampled(10, seed=3)
+        sub_b = cloud.subsampled(10, seed=3)
+        assert len(sub_a) == 10
+        assert np.allclose(sub_a.points, sub_b.points)
+
+    def test_subsampled_returns_copy_when_small_enough(self):
+        cloud = PointCloud([(1.0, 2.0, 3.0)])
+        assert len(cloud.subsampled(10)) == 1
+
+    def test_subsampled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            PointCloud().subsampled(0)
+
+    def test_bounds(self):
+        cloud = PointCloud([(1.0, -2.0, 3.0), (-1.0, 2.0, -3.0)])
+        minimum, maximum = cloud.bounds()
+        assert minimum.tolist() == [-1.0, -2.0, -3.0]
+        assert maximum.tolist() == [1.0, 2.0, 3.0]
+
+    def test_bounds_of_empty_cloud_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud().bounds()
+
+
+class TestPose6D:
+    def test_identity_transform(self):
+        pose = Pose6D()
+        assert pose.transform_point((1.0, 2.0, 3.0)) == pytest.approx((1.0, 2.0, 3.0))
+
+    def test_rotation_matrix_is_orthonormal(self):
+        pose = Pose6D(roll=0.3, pitch=-0.2, yaw=1.1)
+        rotation = pose.rotation_matrix()
+        assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_translation_validation(self):
+        with pytest.raises(ValueError):
+            Pose6D((1.0, 2.0))
+
+    def test_yaw_rotates_about_z(self):
+        pose = Pose6D(yaw=math.pi)
+        assert pose.transform_point((1.0, 0.0, 0.0)) == pytest.approx((-1.0, 0.0, 0.0), abs=1e-12)
+
+    def test_pitch_rotates_about_y(self):
+        pose = Pose6D(pitch=math.pi / 2.0)
+        assert pose.transform_point((1.0, 0.0, 0.0)) == pytest.approx((0.0, 0.0, -1.0), abs=1e-12)
+
+    def test_compose_translations(self):
+        first = Pose6D((1.0, 0.0, 0.0))
+        second = Pose6D((0.0, 2.0, 0.0))
+        composed = first.compose(second)
+        assert composed.translation == pytest.approx((1.0, 2.0, 0.0))
+
+    def test_compose_yaw_only_is_exact(self):
+        first = Pose6D((1.0, 0.0, 0.0), yaw=math.pi / 2.0)
+        second = Pose6D((1.0, 0.0, 0.0), yaw=math.pi / 2.0)
+        composed = first.compose(second)
+        assert composed.yaw == pytest.approx(math.pi)
+        assert composed.translation == pytest.approx((1.0, 1.0, 0.0), abs=1e-12)
+
+
+class TestScanNodeAndGraph:
+    def test_world_cloud_applies_the_pose(self):
+        scan = ScanNode(PointCloud([(1.0, 0.0, 0.0)]), Pose6D((0.0, 0.0, 1.0), yaw=math.pi / 2.0))
+        assert scan.world_cloud()[0] == pytest.approx((0.0, 1.0, 1.0), abs=1e-12)
+
+    def test_origin_is_the_pose_translation(self):
+        scan = ScanNode(PointCloud(), Pose6D((1.0, 2.0, 3.0)))
+        assert scan.origin() == (1.0, 2.0, 3.0)
+
+    def test_graph_accumulates_scans(self):
+        graph = ScanGraph(name="demo")
+        graph.add_scan(ScanNode(PointCloud([(1.0, 1.0, 1.0)]), Pose6D(), scan_id=0))
+        graph.add_scan(ScanNode(PointCloud([(2.0, 2.0, 2.0), (3.0, 3.0, 3.0)]), Pose6D(), scan_id=1))
+        assert len(graph) == 2
+        assert graph.total_points() == 3
+        assert graph.average_points_per_scan() == pytest.approx(1.5)
+
+    def test_graph_indexing_and_iteration(self):
+        scans = [ScanNode(PointCloud(), Pose6D(), scan_id=i) for i in range(3)]
+        graph = ScanGraph(scans)
+        assert graph[1] is scans[1]
+        assert [scan.scan_id for scan in graph] == [0, 1, 2]
+
+    def test_statistics_shape_matches_table2_fields(self):
+        graph = ScanGraph([ScanNode(PointCloud([(0.0, 0.0, 0.0)]), Pose6D())], name="x")
+        stats = graph.statistics()
+        assert set(stats) == {"name", "scan_number", "average_points_per_scan", "point_cloud_total"}
+
+    def test_empty_graph_statistics(self):
+        graph = ScanGraph()
+        assert graph.average_points_per_scan() == 0.0
+        assert graph.total_points() == 0

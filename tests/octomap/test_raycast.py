@@ -1,0 +1,128 @@
+"""Unit tests for the 3D DDA ray traversal and map ray queries."""
+
+import math
+
+import pytest
+
+from repro.octomap.counters import OperationCounters
+from repro.octomap.keys import KeyConverter
+from repro.octomap.octree import OccupancyOcTree
+from repro.octomap.raycast import cast_ray, compute_ray_keys
+
+
+@pytest.fixture
+def converter() -> KeyConverter:
+    return KeyConverter(0.1)
+
+
+class TestComputeRayKeys:
+    def test_axis_aligned_ray_visits_every_voxel(self, converter):
+        keys = compute_ray_keys(converter, (0.05, 0.05, 0.05), (1.05, 0.05, 0.05))
+        xs = [key.x for key in keys]
+        assert xs == sorted(xs)
+        assert len(keys) == 9  # voxels strictly between origin and endpoint
+
+    def test_endpoint_voxel_is_excluded(self, converter):
+        end = (1.05, 0.05, 0.05)
+        end_key = converter.coord_to_key(*end)
+        keys = compute_ray_keys(converter, (0.05, 0.05, 0.05), end)
+        assert end_key not in keys
+
+    def test_origin_voxel_is_excluded(self, converter):
+        origin = (0.05, 0.05, 0.05)
+        origin_key = converter.coord_to_key(*origin)
+        keys = compute_ray_keys(converter, origin, (1.05, 0.05, 0.05))
+        assert origin_key not in keys
+
+    def test_same_voxel_returns_empty(self, converter):
+        assert compute_ray_keys(converter, (0.01, 0.01, 0.01), (0.02, 0.02, 0.02)) == []
+
+    def test_traversal_is_connected(self, converter):
+        origin = (0.0, 0.0, 0.0)
+        end = (2.3, -1.7, 0.9)
+        keys = compute_ray_keys(converter, origin, end)
+        full_path = [converter.coord_to_key(*origin)] + keys
+        for previous, current in zip(full_path, full_path[1:]):
+            step = sum(abs(a - b) for a, b in zip(previous.as_tuple(), current.as_tuple()))
+            assert step == 1, "DDA must advance exactly one voxel per step"
+
+    def test_traversal_reaches_the_endpoint_neighbourhood(self, converter):
+        origin = (0.0, 0.0, 0.0)
+        end = (2.3, -1.7, 0.9)
+        keys = compute_ray_keys(converter, origin, end)
+        end_key = converter.coord_to_key(*end)
+        last = keys[-1]
+        gap = sum(abs(a - b) for a, b in zip(last.as_tuple(), end_key.as_tuple()))
+        assert gap <= 3
+
+    def test_negative_direction(self, converter):
+        keys = compute_ray_keys(converter, (0.05, 0.05, 0.05), (-1.05, 0.05, 0.05))
+        xs = [key.x for key in keys]
+        assert xs == sorted(xs, reverse=True)
+
+    def test_diagonal_ray_key_count_is_bounded(self, converter):
+        origin = (0.0, 0.0, 0.0)
+        end = (1.0, 1.0, 1.0)
+        keys = compute_ray_keys(converter, origin, end)
+        length = math.sqrt(3.0)
+        assert len(keys) <= 3 * (length / converter.resolution + 2)
+
+    def test_counters_record_ray_steps(self, converter):
+        counters = OperationCounters()
+        keys = compute_ray_keys(converter, (0.0, 0.0, 0.0), (1.0, 0.0, 0.0), counters=counters)
+        assert counters.ray_steps == len(keys)
+
+    def test_long_ray_many_voxels(self, converter):
+        keys = compute_ray_keys(converter, (0.0, 0.0, 0.0), (25.0, 13.0, -7.0))
+        assert len(keys) > 200
+        assert len(set(keys)) == len(keys), "no voxel is visited twice"
+
+
+class TestCastRay:
+    @pytest.fixture
+    def wall_tree(self) -> OccupancyOcTree:
+        tree = OccupancyOcTree(0.1)
+        for y in range(-5, 6):
+            for z in range(-5, 6):
+                for _ in range(3):
+                    tree.update_node(2.05, y * 0.1 + 0.05, z * 0.1 + 0.05, occupied=True)
+        # free corridor between the sensor and the wall
+        for x in range(1, 20):
+            tree.update_node(x * 0.1 + 0.05, 0.05, 0.05, occupied=False)
+        return tree
+
+    def test_ray_hits_wall(self, wall_tree):
+        result = cast_ray(wall_tree, (0.0, 0.05, 0.05), (1.0, 0.0, 0.0))
+        assert result.hit
+        assert result.end_point[0] == pytest.approx(2.05, abs=0.1)
+
+    def test_ray_distance_is_consistent(self, wall_tree):
+        origin = (0.0, 0.05, 0.05)
+        result = cast_ray(wall_tree, origin, (1.0, 0.0, 0.0))
+        expected = math.sqrt(sum((result.end_point[i] - origin[i]) ** 2 for i in range(3)))
+        assert result.distance == pytest.approx(expected)
+
+    def test_ray_missing_everything_reports_no_hit(self, wall_tree):
+        result = cast_ray(wall_tree, (0.0, 0.05, 0.05), (-1.0, 0.0, 0.0), max_range=3.0)
+        assert not result.hit
+
+    def test_max_range_stops_before_the_wall(self, wall_tree):
+        result = cast_ray(wall_tree, (0.0, 0.05, 0.05), (1.0, 0.0, 0.0), max_range=1.0)
+        assert not result.hit
+
+    def test_unknown_space_can_terminate_the_walk(self, wall_tree):
+        result = cast_ray(
+            wall_tree, (0.0, 0.05, 0.05), (0.0, 1.0, 0.0), max_range=3.0, ignore_unknown=False
+        )
+        assert not result.hit
+        assert result.end_key is not None
+
+    def test_zero_direction_raises(self, wall_tree):
+        with pytest.raises(ValueError):
+            cast_ray(wall_tree, (0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
+
+    def test_direction_is_normalised_internally(self, wall_tree):
+        slow = cast_ray(wall_tree, (0.0, 0.05, 0.05), (1.0, 0.0, 0.0))
+        fast = cast_ray(wall_tree, (0.0, 0.05, 0.05), (10.0, 0.0, 0.0))
+        assert slow.hit and fast.hit
+        assert slow.end_key == fast.end_key

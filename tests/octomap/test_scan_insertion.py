@@ -1,0 +1,112 @@
+"""Unit tests for batch scan insertion (ray casting + de-duplicated updates)."""
+
+import pytest
+
+from repro.octomap.octree import OccupancyOcTree
+from repro.octomap.pointcloud import PointCloud
+from repro.octomap.scan_insertion import (
+    clip_segment_to_volume,
+    compute_update_keys,
+    insert_point_cloud,
+)
+
+
+@pytest.fixture
+def tree() -> OccupancyOcTree:
+    return OccupancyOcTree(0.1)
+
+
+class TestComputeUpdateKeys:
+    def test_free_and_occupied_are_disjoint(self, tree, ring_cloud):
+        free, occupied = compute_update_keys(tree, ring_cloud, (0.0, 0.0, 0.0))
+        assert free.isdisjoint(occupied)
+
+    def test_every_endpoint_registers_an_occupied_voxel(self, tree):
+        cloud = PointCloud([(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)])
+        _, occupied = compute_update_keys(tree, cloud, (0.0, 0.0, 0.0))
+        for point in cloud:
+            assert tree.coord_to_key(*point) in occupied
+
+    def test_free_voxels_lie_between_origin_and_endpoints(self, tree):
+        cloud = PointCloud([(1.05, 0.05, 0.05)])
+        free, _ = compute_update_keys(tree, cloud, (0.05, 0.05, 0.05))
+        assert len(free) == 9
+
+    def test_duplicate_endpoints_register_once(self, tree):
+        cloud = PointCloud([(1.0, 0.0, 0.0)] * 5)
+        free, occupied = compute_update_keys(tree, cloud, (0.0, 0.0, 0.0))
+        assert len(occupied) == 1
+
+    def test_max_range_truncates_long_beams(self, tree):
+        cloud = PointCloud([(10.0, 0.0, 0.0)])
+        free, occupied = compute_update_keys(tree, cloud, (0.0, 0.0, 0.0), max_range=2.0)
+        assert not occupied, "a truncated beam registers no endpoint"
+        assert free, "but the space up to max_range is marked free"
+        max_x = max(key.x for key in free)
+        boundary = tree.coord_to_key(2.0, 0.0, 0.0).x
+        assert max_x <= boundary
+
+    def test_out_of_volume_endpoint_is_clipped(self, tree):
+        far = tree.key_converter.max_coordinate * 2.0
+        cloud = PointCloud([(far, 0.0, 0.0)])
+        free, occupied = compute_update_keys(tree, cloud, (0.0, 0.0, 0.0))
+        assert not occupied
+        assert free
+
+
+class TestInsertPointCloud:
+    def test_insert_marks_endpoints_occupied(self, tree, ring_cloud):
+        insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        occupied = sum(1 for _ in tree.iter_occupied())
+        assert occupied > 100
+
+    def test_insert_marks_interior_free(self, tree, ring_cloud):
+        insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        assert tree.classify(1.0, 0.0, 0.0) == "free"
+        assert tree.classify(0.0, -1.5, 0.0) == "free"
+
+    def test_insert_returns_update_counts(self, tree, ring_cloud):
+        free_count, occupied_count = insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        assert free_count > occupied_count > 0
+        assert tree.counters.leaf_updates == free_count + occupied_count
+
+    def test_occupied_wins_over_free_within_one_scan(self, tree):
+        # A beam passes exactly through another beam's endpoint voxel.
+        cloud = PointCloud([(1.05, 0.05, 0.05), (2.05, 0.05, 0.05)])
+        insert_point_cloud(tree, cloud, (0.05, 0.05, 0.05))
+        assert tree.classify(1.05, 0.05, 0.05) == "occupied"
+
+    def test_lazy_insertion_produces_same_map(self, tree, ring_cloud):
+        lazy_tree = OccupancyOcTree(0.1)
+        insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        insert_point_cloud(lazy_tree, ring_cloud, (0.0, 0.0, 0.0), lazy_prune=True)
+        tree.prune()
+        assert tree.occupancy_grid() == pytest.approx(lazy_tree.occupancy_grid())
+
+    def test_repeated_insertion_reinforces_occupancy(self, tree, ring_cloud):
+        insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        first = tree.search(3.0, 0.0, 0.0)
+        first_value = first.log_odds if first else None
+        insert_point_cloud(tree, ring_cloud, (0.0, 0.0, 0.0))
+        second = tree.search(3.0, 0.0, 0.0)
+        assert first_value is not None and second is not None
+        assert second.log_odds >= first_value
+
+
+class TestClipSegment:
+    def test_inside_segment_is_unchanged(self, tree):
+        converter = tree.key_converter
+        end = clip_segment_to_volume(converter, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert end == pytest.approx((1.0, 1.0, 1.0))
+
+    def test_far_endpoint_is_pulled_inside(self, tree):
+        converter = tree.key_converter
+        limit = converter.max_coordinate
+        end = clip_segment_to_volume(converter, (0.0, 0.0, 0.0), (10.0 * limit, 0.0, 0.0))
+        assert end is not None
+        assert converter.is_coordinate_in_range(*end)
+
+    def test_origin_outside_returns_none(self, tree):
+        converter = tree.key_converter
+        limit = converter.max_coordinate
+        assert clip_segment_to_volume(converter, (2.0 * limit, 0.0, 0.0), (0.0, 0.0, 0.0)) is None

@@ -1,0 +1,83 @@
+"""Unit tests for the binary tree serialization."""
+
+import pytest
+
+from repro.octomap.octree import OccupancyOcTree
+from repro.octomap.serialization import (
+    deserialize_tree,
+    read_tree,
+    serialize_tree,
+    write_tree,
+)
+
+
+class TestRoundTrip:
+    def test_empty_tree_roundtrip(self):
+        tree = OccupancyOcTree(0.25)
+        clone = deserialize_tree(serialize_tree(tree))
+        assert clone.is_empty()
+        assert clone.resolution == pytest.approx(0.25)
+
+    def test_single_voxel_roundtrip(self):
+        tree = OccupancyOcTree(0.1)
+        tree.update_node(0.55, 0.55, 0.55, occupied=True)
+        clone = deserialize_tree(serialize_tree(tree))
+        assert clone.size() == tree.size()
+        assert clone.classify(0.55, 0.55, 0.55) == "occupied"
+
+    def test_full_map_roundtrip_preserves_structure(self, small_tree):
+        clone = deserialize_tree(serialize_tree(small_tree))
+        assert clone.size() == small_tree.size()
+        assert clone.num_leaf_nodes() == small_tree.num_leaf_nodes()
+
+    def test_roundtrip_preserves_values_within_float32(self, small_tree):
+        clone = deserialize_tree(serialize_tree(small_tree))
+        original = small_tree.occupancy_grid()
+        restored = clone.occupancy_grid()
+        assert set(original) == set(restored)
+        for key, value in original.items():
+            assert restored[key] == pytest.approx(value, abs=1e-5)
+
+    def test_roundtrip_preserves_metadata(self):
+        tree = OccupancyOcTree(0.05, tree_depth=12)
+        tree.update_node(0.1, 0.1, 0.1, occupied=True)
+        clone = deserialize_tree(serialize_tree(tree))
+        assert clone.resolution == pytest.approx(0.05)
+        assert clone.tree_depth == 12
+
+    def test_file_roundtrip(self, small_tree, tmp_path):
+        path = tmp_path / "map.bt"
+        written = write_tree(small_tree, path)
+        assert path.stat().st_size == written
+        clone = read_tree(path)
+        assert clone.size() == small_tree.size()
+
+
+class TestErrorHandling:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_tree(b"not a tree at all\n")
+
+    def test_truncated_stream_rejected(self, small_tree):
+        data = serialize_tree(small_tree)
+        with pytest.raises(ValueError):
+            deserialize_tree(data[: len(data) // 2])
+
+    def test_incomplete_header_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_tree(b"# repro-octree v1\nres 0.1\ndata\n")
+
+    def test_unknown_header_field_rejected(self):
+        data = b"# repro-octree v1\nres 0.1\ndepth 16\nbogus 1\nsize 0\ndata\n"
+        with pytest.raises(ValueError, match="bogus"):
+            deserialize_tree(data)
+
+    def test_size_mismatch_rejected(self, small_tree):
+        data = serialize_tree(small_tree)
+        # Corrupt the declared size in the header.
+        header, _, body = data.partition(b"data\n")
+        corrupted = header.replace(
+            f"size {small_tree.size()}".encode(), b"size 1"
+        ) + b"data\n" + body
+        with pytest.raises(ValueError, match="mismatch"):
+            deserialize_tree(corrupted)

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.fixedpoint import DEFAULT_FORMAT, FixedPointFormat, QuantizedOccupancyParams
+from repro.core.pe import ProcessingElement
+from repro.core.prune_manager import PruneAddressManager
+from repro.core.treemem import ChildStatus, TreeMemEntry
+from repro.octomap.keys import KeyConverter, OcTreeKey
+from repro.octomap.logodds import DEFAULT_PARAMS, log_odds, probability
+from repro.octomap.octree import OccupancyOcTree
+from repro.octomap.raycast import compute_ray_keys
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+coordinates = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+key_components = st.integers(min_value=0, max_value=0xFFFF)
+probabilities = st.floats(min_value=1e-6, max_value=1.0 - 1e-6)
+raw_values = st.integers(min_value=DEFAULT_FORMAT.min_raw, max_value=DEFAULT_FORMAT.max_raw)
+
+
+# ---------------------------------------------------------------------------
+# Log-odds
+# ---------------------------------------------------------------------------
+@given(probabilities)
+def test_log_odds_probability_roundtrip(p):
+    assert probability(log_odds(p)) == pytest_approx(p)
+
+
+def pytest_approx(value, rel=1e-9, abs_tol=1e-9):
+    class _Approx:
+        def __eq__(self, other):
+            return math.isclose(other, value, rel_tol=rel, abs_tol=abs_tol)
+
+    return _Approx()
+
+
+@given(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), st.booleans())
+def test_clamped_update_always_stays_in_bounds(value, hit):
+    updated = DEFAULT_PARAMS.update(value, hit)
+    assert DEFAULT_PARAMS.clamp_min <= updated <= DEFAULT_PARAMS.clamp_max
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=64))
+def test_update_sequences_stay_clamped(sequence):
+    value = 0.0
+    for hit in sequence:
+        value = DEFAULT_PARAMS.update(value, hit)
+        assert DEFAULT_PARAMS.clamp_min <= value <= DEFAULT_PARAMS.clamp_max
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+@given(coordinates, coordinates, coordinates)
+def test_coord_key_roundtrip_error_is_below_half_resolution(x, y, z):
+    converter = KeyConverter(0.1)
+    key = converter.coord_to_key(x, y, z)
+    centre = converter.key_to_coord(key)
+    for original, restored in zip((x, y, z), centre):
+        assert abs(original - restored) <= converter.resolution / 2.0 + 1e-9
+
+
+@given(key_components, key_components, key_components)
+def test_key_path_reconstructs_the_key(kx, ky, kz):
+    key = OcTreeKey(kx, ky, kz)
+    rx = ry = rz = 0
+    for level, index in enumerate(key.path(16)):
+        bit = 15 - level
+        rx |= ((index >> 0) & 1) << bit
+        ry |= ((index >> 1) & 1) << bit
+        rz |= ((index >> 2) & 1) << bit
+    assert (rx, ry, rz) == key.as_tuple()
+
+
+@given(key_components, key_components, key_components, st.integers(min_value=0, max_value=16))
+def test_at_depth_is_idempotent(kx, ky, kz, depth):
+    key = OcTreeKey(kx, ky, kz)
+    coarse = key.at_depth(depth, 16)
+    assert coarse.at_depth(depth, 16) == coarse
+
+
+# ---------------------------------------------------------------------------
+# Ray casting
+# ---------------------------------------------------------------------------
+@given(coordinates, coordinates, coordinates, coordinates, coordinates, coordinates)
+@settings(max_examples=50)
+def test_ray_traversal_is_six_connected(ox, oy, oz, ex, ey, ez):
+    converter = KeyConverter(0.2)
+    keys = compute_ray_keys(converter, (ox, oy, oz), (ex, ey, ez))
+    path = [converter.coord_to_key(ox, oy, oz)] + keys
+    for previous, current in zip(path, path[1:]):
+        distance = sum(abs(a - b) for a, b in zip(previous.as_tuple(), current.as_tuple()))
+        assert distance == 1
+    assert len(set(keys)) == len(keys)
+
+
+# ---------------------------------------------------------------------------
+# Fixed point
+# ---------------------------------------------------------------------------
+@given(st.floats(min_value=-30.0, max_value=30.0, allow_nan=False))
+def test_fixed_point_quantisation_error_is_half_lsb(value):
+    fmt = DEFAULT_FORMAT
+    assert abs(fmt.quantize(value) - value) <= fmt.scale / 2.0 + 1e-12
+
+
+@given(raw_values)
+def test_fixed_point_word_roundtrip(raw):
+    fmt = DEFAULT_FORMAT
+    assert fmt.from_unsigned_word(fmt.to_unsigned_word(raw)) == raw
+
+
+@given(raw_values, raw_values)
+def test_saturating_add_never_overflows(a, b):
+    fmt = DEFAULT_FORMAT
+    result = fmt.saturating_add(a, b)
+    assert fmt.min_raw <= result <= fmt.max_raw
+
+
+@given(raw_values, st.lists(st.booleans(), min_size=1, max_size=32))
+def test_quantised_updates_stay_within_clamps_or_initial_range(start, hits):
+    params = QuantizedOccupancyParams(DEFAULT_PARAMS, DEFAULT_FORMAT)
+    value = params.clamp_raw(start)
+    for hit in hits:
+        value = params.update_raw(value, hit)
+        assert params.raw_clamp_min <= value <= params.raw_clamp_max
+
+
+# ---------------------------------------------------------------------------
+# TreeMem entry packing
+# ---------------------------------------------------------------------------
+tags_strategy = st.lists(st.sampled_from(list(ChildStatus)), min_size=8, max_size=8)
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    tags_strategy,
+    st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+)
+def test_treemem_entry_pack_unpack_roundtrip(pointer, tags, raw):
+    entry = TreeMemEntry(pointer=pointer, child_tags=list(tags), probability_raw=raw)
+    word = entry.pack()
+    assert 0 <= word < (1 << 64)
+    restored = TreeMemEntry.unpack(word)
+    assert restored.pointer == pointer
+    assert restored.child_tags == list(tags)
+    assert restored.probability_raw == raw
+
+
+# ---------------------------------------------------------------------------
+# Prune address manager
+# ---------------------------------------------------------------------------
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_prune_manager_never_hands_out_a_live_row(operations):
+    """Allocate (True) / free-the-oldest (False): live rows stay unique."""
+    manager = PruneAddressManager(num_rows=64)
+    live = []
+    for allocate in operations:
+        if allocate:
+            if manager.free_rows == 0:
+                continue
+            row = manager.allocate_row()
+            assert row not in live
+            live.append(row)
+        elif live:
+            manager.free_row(live.pop(0))
+    assert manager.rows_in_use == len(live)
+
+
+# ---------------------------------------------------------------------------
+# Octree / accelerator functional invariants
+# ---------------------------------------------------------------------------
+voxel_updates = st.lists(
+    st.tuples(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(voxel_updates)
+@settings(max_examples=30, deadline=None)
+def test_octree_values_always_clamped_and_queries_consistent(updates):
+    tree = OccupancyOcTree(0.25)
+    for x, y, z, occupied in updates:
+        tree.update_node(x, y, z, occupied=occupied)
+    for leaf in tree.iter_leafs():
+        assert DEFAULT_PARAMS.clamp_min <= leaf.log_odds <= DEFAULT_PARAMS.clamp_max
+    # Node count bookkeeping must match an actual traversal.
+    assert tree.size() == _count_nodes(tree.root)
+
+
+def _count_nodes(node):
+    if node is None:
+        return 0
+    return 1 + sum(_count_nodes(child) for _, child in node.children())
+
+
+@given(voxel_updates)
+@settings(max_examples=20, deadline=None)
+def test_pe_and_software_tree_agree_on_random_update_sequences(updates):
+    """The PE datapath matches the quantised software tree for any sequence."""
+    config = DEFAULT_CONFIG.with_resolution(0.25)
+    quantized = config.quantized_params()
+    software = OccupancyOcTree(0.25, params=quantized.as_float_params())
+    pes = {pe_id: ProcessingElement(pe_id, config) for pe_id in range(8)}
+    converter = KeyConverter(0.25, config.tree_depth)
+
+    for x, y, z, occupied in updates:
+        key = converter.coord_to_key(x, y, z)
+        software.update_node(key, occupied=occupied)
+        pes[key.child_index(0, config.tree_depth)].update_voxel(key, occupied)
+
+    fmt = config.fixed_point
+    for x, y, z, _ in updates:
+        key = converter.coord_to_key(x, y, z)
+        node = software.search(key)
+        status, raw = pes[key.child_index(0, config.tree_depth)].query_voxel(key)
+        assert node is not None
+        assert fmt.to_raw(node.log_odds) == raw
+        expected = "occupied" if software.is_node_occupied(node) else "free"
+        assert status == expected
