@@ -1,10 +1,54 @@
-"""Setup shim.
+"""Package metadata and the ``repro-serve`` console entry point.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-only so that legacy (non-PEP-517) editable installs work on machines without
-the ``wheel`` package, e.g. ``pip install -e . --no-use-pep517``.
+Install in editable mode for development::
+
+    pip install -e .
+
+Afterwards ``repro-serve`` drives a small multi-session demo of the
+occupancy-mapping service layer (see :mod:`repro.serving.cli`).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="omu-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'OMU: A Probabilistic 3D Occupancy Mapping "
+        "Accelerator for Real-time OctoMap at the Edge' (DATE 2022), grown "
+        "into a multi-session occupancy-mapping service layer"
+    ),
+    long_description=(
+        "A from-scratch Python reproduction of the OMU occupancy-mapping "
+        "accelerator (DATE 2022): the software OctoMap substrate, the "
+        "cycle-approximate accelerator model, calibrated CPU baselines, "
+        "energy/area models, the paper's tables and figures, and a "
+        "multi-session mapping service layer (`repro.serving`) with sharded "
+        "ingestion and a cached query engine on top."
+    ),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.21",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serving.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+)

@@ -15,9 +15,16 @@ package is organised by subsystem:
 * :mod:`repro.baselines` -- calibrated Intel i9 / ARM Cortex-A57 cost models
   and the instrumented software baseline runner.
 * :mod:`repro.energy` -- 12 nm power / energy / area models.
-* :mod:`repro.analysis` -- one experiment driver per paper table and figure.
+* :mod:`repro.analysis` -- one experiment driver per paper table and figure,
+  plus the service-level load experiments.
+* :mod:`repro.serving` -- the multi-session occupancy-mapping *service*
+  layer: named map sessions sharded over pools of accelerator workers,
+  batched ingestion with pluggable scheduling (FIFO / priority / deadline),
+  a generation-stamped cached query engine, and per-session service
+  statistics.  This is the layer a fleet of robots (or a cloud mapping API)
+  would talk to; the ``repro-serve`` console script demos it.
 
-Quickstart::
+Quickstart (single map, the paper's workload)::
 
     from repro import OMUAccelerator, OMUConfig
     from repro.datasets import generate_named_graph
@@ -26,12 +33,21 @@ Quickstart::
     accelerator = OMUAccelerator(OMUConfig(resolution_m=0.2))
     timing = accelerator.process_scan_graph(graph)
     print(timing.cycles_per_update(), accelerator.classify(1.0, 0.0, 1.2))
+
+Quickstart (multi-session service)::
+
+    from repro.serving import MapSessionManager, ScanRequest, SessionConfig
+
+    manager = MapSessionManager(SessionConfig(num_shards=4))
+    manager.ingest(ScanRequest.from_scan_node("warehouse", scan))
+    print(manager.query("warehouse", 1.0, 0.0, 0.5).status)
+    print(manager.render_stats())
 """
 
 from repro.core import OMUAccelerator, OMUConfig
 from repro.octomap import OccupancyOcTree, PointCloud, Pose6D, ScanGraph, ScanNode
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OMUAccelerator",

@@ -24,9 +24,15 @@ from repro.analysis.metrics import (
     relative_error,
     speedup,
 )
+from repro.analysis.service import (
+    DEFAULT_SERVICE_CLIENTS,
+    run_service_workload,
+    service_scaling_experiment,
+)
 from repro.analysis.tables import format_quantity, render_bar_chart, render_table
 
 __all__ = [
+    "DEFAULT_SERVICE_CLIENTS",
     "SCALES",
     "DatasetEvaluation",
     "ExperimentResult",
@@ -44,6 +50,8 @@ __all__ = [
     "relative_error",
     "render_bar_chart",
     "render_table",
+    "run_service_workload",
+    "service_scaling_experiment",
     "speedup",
     "table1_related_work",
     "table2_dataset_details",

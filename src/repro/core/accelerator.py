@@ -26,7 +26,7 @@ from repro.core.interconnect import HostInterface
 from repro.core.pe import ProcessingElement
 from repro.core.query_unit import QueryResult, VoxelQueryUnit
 from repro.core.raycast_unit import RayCastingUnit
-from repro.core.scheduler import VoxelScheduler
+from repro.core.scheduler import VoxelScheduler, VoxelUpdateRequest
 from repro.core.timing import CycleBreakdown, ScanTiming
 from repro.octomap.counters import OperationCounters, OperationKind
 from repro.octomap.logodds import probability as logodds_to_probability
@@ -101,7 +101,30 @@ class OMUAccelerator:
 
         cast = self.raycaster.cast_scan(cloud, origin, max_range=max_range)
         batch = self.scheduler.schedule(cast.free_keys, cast.occupied_keys)
+        timing = self._execute_batch(batch, cast.cycles)
 
+        self.map_timing.merge(timing)
+        self.scans_processed += 1
+        self.host.finish(timing.critical_path_cycles())
+        return timing
+
+    def apply_update_batch(self, requests: Sequence["VoxelUpdateRequest"]) -> ScanTiming:
+        """Apply an ordered stream of pre-computed voxel updates.
+
+        The serving layer ray-casts once in its shared front end and then
+        dispatches per-shard key streams to worker accelerators; this entry
+        point skips the on-chip ray caster and feeds the stream straight into
+        the voxel scheduler.  Stream order is preserved per voxel, so a batch
+        spanning several scans produces exactly the map that sequential
+        :meth:`process_scan` calls would.
+        """
+        batch = self.scheduler.schedule_requests(requests)
+        timing = self._execute_batch(batch, raycast_cycles=0)
+        self.map_timing.merge(timing)
+        return timing
+
+    def _execute_batch(self, batch, raycast_cycles: int) -> ScanTiming:
+        """Run one scheduled batch on the PE array and account its cycles."""
         per_pe_cycles: Dict[int, int] = {}
         per_pe_breakdowns: Dict[int, CycleBreakdown] = {}
         for pe_id, queue in batch.per_pe.items():
@@ -118,18 +141,14 @@ class OMUAccelerator:
 
         timing = ScanTiming(
             scheduler_cycles=batch.issue_cycles,
-            raycast_cycles=cast.cycles,
+            raycast_cycles=raycast_cycles,
             pe_cycles_max=max(per_pe_cycles.values()) if per_pe_cycles else 0,
             pe_cycles_total=sum(per_pe_cycles.values()),
             voxel_updates=batch.total_updates(),
         )
         timing.breakdown = self._accelerator_breakdown(
-            per_pe_cycles, per_pe_breakdowns, cast.cycles
+            per_pe_cycles, per_pe_breakdowns, raycast_cycles
         )
-
-        self.map_timing.merge(timing)
-        self.scans_processed += 1
-        self.host.finish(timing.critical_path_cycles())
         return timing
 
     def _accelerator_breakdown(

@@ -63,6 +63,36 @@ class AddressGenerator:
         second = key.child_index(1, self._tree_depth)
         return (branch * 8 + second) % self._num_pes
 
+    def shard_prefix(self, key: OcTreeKey, prefix_levels: int = 1) -> Tuple[int, ...]:
+        """Octree-key prefix used for spatial sharding.
+
+        The first ``prefix_levels`` child indices of the root-to-leaf path
+        identify the subtree a voxel lives in; the serving layer's shard
+        router hashes this prefix to pick the map worker that owns the voxel.
+        One level distinguishes the 8 first-level branches (the same
+        partitioning the PE array uses), two levels distinguish 64 subtrees,
+        and so on.
+        """
+        if not 1 <= prefix_levels <= self._tree_depth:
+            raise ValueError(
+                f"prefix_levels must be in [1, {self._tree_depth}], got {prefix_levels}"
+            )
+        return key.path(self._tree_depth, max_level=prefix_levels)
+
+    def shard_index(self, key: OcTreeKey, num_shards: int, prefix_levels: int = 1) -> int:
+        """Shard (0..num_shards-1) owning a voxel, from its key prefix.
+
+        The prefix is folded into a subtree number and reduced modulo the
+        shard count, so any ``num_shards >= 1`` yields a total, deterministic
+        and spatially coherent partition of the key space.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        subtree = 0
+        for child_index in self.shard_prefix(key, prefix_levels):
+            subtree = subtree * 8 + child_index
+        return subtree % num_shards
+
     def child_path(self, key: OcTreeKey) -> Tuple[int, ...]:
         """Child indices from below the root down to the leaf.
 

@@ -86,6 +86,21 @@ class VoxelScheduler:
             self._issue(batch, VoxelUpdateRequest(key, occupied=True))
         return batch
 
+    def schedule_requests(self, requests: Sequence[VoxelUpdateRequest]) -> ScheduledBatch:
+        """Build per-PE queues from an already ordered update stream.
+
+        Used by callers that manage the measurement order themselves (the
+        serving layer concatenates several scans' update streams into one
+        batch).  Issue order is preserved per PE, so updates touching the
+        same voxel are applied in stream order -- required for equivalence
+        with sequential insertion because the clamped log-odds update is not
+        commutative once a value saturates.
+        """
+        batch = ScheduledBatch(per_pe={pe: [] for pe in range(self.config.num_pes)})
+        for request in requests:
+            self._issue(batch, request)
+        return batch
+
     def _issue(self, batch: ScheduledBatch, request: VoxelUpdateRequest) -> None:
         pe = self.address_generator.pe_for_key(request.key)
         batch.per_pe[pe].append(request)

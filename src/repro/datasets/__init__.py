@@ -34,10 +34,17 @@ from repro.datasets.scenes import (
     scene_by_name,
 )
 from repro.datasets.sensors import DepthCamera, SpinningLidar
+from repro.datasets.streams import (
+    ClientSpec,
+    StreamEvent,
+    generate_client_scans,
+    generate_interleaved_stream,
+)
 
 __all__ = [
     "ALL_DATASETS",
     "AxisAlignedBox",
+    "ClientSpec",
     "DatasetDescriptor",
     "DepthCamera",
     "EQUIVALENT_FRAME_PIXELS",
@@ -49,11 +56,14 @@ __all__ = [
     "PaperReference",
     "Scene",
     "SpinningLidar",
+    "StreamEvent",
     "VerticalCylinder",
     "campus_scene",
     "college_scene",
     "corridor_scene",
     "dataset_by_name",
+    "generate_client_scans",
+    "generate_interleaved_stream",
     "generate_named_graph",
     "generate_scan_graph",
     "read_scan_graph",

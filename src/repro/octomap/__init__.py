@@ -20,6 +20,8 @@ It provides:
   and scan graphs.
 * :mod:`repro.octomap.scan_insertion` -- batch insertion of sensor scans with
   free/occupied de-duplication.
+* :mod:`repro.octomap.merge` -- grafting one tree's leaves into another
+  (shard stitching for the serving layer).
 * :mod:`repro.octomap.serialization` -- a compact binary tree file format.
 * :mod:`repro.octomap.counters` -- per-operation instrumentation used to
   reproduce the paper's runtime breakdowns (Fig. 3 and Fig. 10).
@@ -28,6 +30,7 @@ It provides:
 from repro.octomap.counters import OperationCounters, OperationKind
 from repro.octomap.keys import KeyConverter, OcTreeKey
 from repro.octomap.logodds import OccupancyParams, log_odds, probability
+from repro.octomap.merge import graft_leaf, merge_tree, merge_trees
 from repro.octomap.node import OcTreeNode
 from repro.octomap.octree import OccupancyOcTree
 from repro.octomap.pointcloud import PointCloud, Pose6D, ScanGraph, ScanNode
@@ -50,8 +53,11 @@ __all__ = [
     "cast_ray",
     "compute_ray_keys",
     "compute_update_keys",
+    "graft_leaf",
     "insert_point_cloud",
     "log_odds",
+    "merge_tree",
+    "merge_trees",
     "probability",
     "read_tree",
     "write_tree",

@@ -1,0 +1,122 @@
+"""Merging occupancy octrees: shard stitching for the serving layer.
+
+The serving layer partitions a map across several shard workers, each of
+which exports its own :class:`~repro.octomap.octree.OccupancyOcTree` covering
+a disjoint region of the key space.  :func:`merge_tree` grafts one tree's
+leaves (including pruned homogeneous regions) into another so the session can
+hand a single stitched map back to the client.
+
+Merging is value-preserving, not probabilistic: a source leaf *overwrites*
+the target voxel's value.  That is the right semantics for shard stitching
+(the shards are spatially disjoint, so nothing is ever overwritten in
+practice) and for replaying snapshots.  Combining two maps of the *same*
+region probabilistically would instead add log-odds; that is a different
+operation and deliberately not offered here.
+"""
+
+from __future__ import annotations
+
+from repro.octomap.keys import OcTreeKey
+from repro.octomap.node import OcTreeNode
+from repro.octomap.octree import OccupancyOcTree
+
+__all__ = ["graft_leaf", "merge_tree", "merge_trees"]
+
+
+def _count_descendants(node: OcTreeNode) -> int:
+    """Number of nodes strictly below ``node``."""
+    count = 0
+    for _, child in node.children():
+        count += 1 + _count_descendants(child)
+    return count
+
+
+def graft_leaf(tree: OccupancyOcTree, key: OcTreeKey, depth: int, log_odds: float) -> None:
+    """Write one (possibly coarse) leaf into a tree without propagating yet.
+
+    Args:
+        tree: target tree.
+        key: leaf key; for ``depth < tree_depth`` the key of any voxel inside
+            the covered region works (the centre key, as reported by
+            :meth:`~repro.octomap.octree.OccupancyOcTree.iter_leafs`, is the
+            conventional choice).
+        depth: depth of the leaf (``tree_depth`` for a finest-resolution
+            voxel, shallower for a pruned homogeneous region).
+        log_odds: clamped occupancy value to store.
+
+    The caller must run ``update_inner_occupancy()`` and ``prune()`` once the
+    whole batch of grafts is done; :func:`merge_tree` does exactly that.
+    """
+    if not 0 <= depth <= tree.tree_depth:
+        raise ValueError(f"depth {depth} outside [0, {tree.tree_depth}]")
+    if tree.root is None:
+        tree._root = OcTreeNode(0.0)
+        tree._num_nodes = 1
+        tree.counters.node_allocations += 1
+    node = tree._root
+    assert node is not None
+    for child_index in key.path(tree.tree_depth, max_level=depth):
+        if not node.child_exists(child_index):
+            node.create_child(child_index, 0.0)
+            tree._num_nodes += 1
+            tree.counters.node_allocations += 1
+        node = node.child(child_index)
+    if node.has_children():
+        # The grafted leaf replaces whatever finer structure was there.
+        deleted = _count_descendants(node)
+        node.delete_children()
+        tree._num_nodes -= deleted
+        tree.counters.node_deletions += deleted
+    node.log_odds = tree.params.clamp(log_odds)
+    tree.counters.leaf_updates += 1
+
+
+def merge_tree(target: OccupancyOcTree, source: OccupancyOcTree) -> int:
+    """Graft every leaf of ``source`` into ``target``; returns leaves merged.
+
+    Both trees must share resolution and depth.  Inner occupancy is
+    recomputed and the result pruned once at the end, so merging N shard
+    exports costs one propagation pass each rather than one per leaf.
+    """
+    if abs(target.resolution - source.resolution) > 1e-12:
+        raise ValueError(
+            f"resolution mismatch: target {target.resolution} vs source {source.resolution}"
+        )
+    if target.tree_depth != source.tree_depth:
+        raise ValueError(
+            f"tree depth mismatch: target {target.tree_depth} vs source {source.tree_depth}"
+        )
+    merged = 0
+    for leaf in source.iter_leafs():
+        graft_leaf(target, leaf.key, leaf.depth, leaf.log_odds)
+        merged += 1
+    target.update_inner_occupancy()
+    target.prune()
+    return merged
+
+
+def merge_trees(trees, resolution: float | None = None, tree_depth: int | None = None,
+                params=None) -> OccupancyOcTree:
+    """Stitch several disjoint trees into one fresh tree.
+
+    Args:
+        trees: iterable of source trees (shard exports); must be non-empty
+            unless ``resolution`` is given explicitly.
+        resolution / tree_depth / params: parameters of the output tree;
+            default to those of the first source.
+    """
+    sources = list(trees)
+    if not sources and resolution is None:
+        raise ValueError("merge_trees needs at least one source tree or an explicit resolution")
+    first = sources[0] if sources else None
+    resolution = resolution if resolution is not None else first.resolution
+    tree_depth = tree_depth if tree_depth is not None else (
+        first.tree_depth if first is not None else 16
+    )
+    if params is None and first is not None:
+        params = first.params
+    kwargs = {"params": params} if params is not None else {}
+    stitched = OccupancyOcTree(resolution, tree_depth=tree_depth, **kwargs)
+    for source in sources:
+        merge_tree(stitched, source)
+    return stitched

@@ -23,7 +23,12 @@ from repro.octomap.keys import OcTreeKey
 from repro.octomap.pointcloud import PointCloud
 from repro.octomap.raycast import compute_ray_keys
 
-__all__ = ["compute_update_keys", "insert_point_cloud", "clip_segment_to_volume"]
+__all__ = [
+    "compute_update_keys",
+    "compute_update_keys_for_converter",
+    "insert_point_cloud",
+    "clip_segment_to_volume",
+]
 
 
 def compute_update_keys(
@@ -47,8 +52,26 @@ def compute_update_keys(
         ``(free_keys, occupied_keys)`` with occupied keys removed from the
         free set, so each voxel receives at most one update per scan.
     """
-    converter = tree.key_converter
-    counters = tree.counters
+    return compute_update_keys_for_converter(
+        tree.key_converter, cloud, origin, max_range=max_range, counters=tree.counters
+    )
+
+
+def compute_update_keys_for_converter(
+    converter,
+    cloud: PointCloud,
+    origin: Sequence[float],
+    max_range: float = -1.0,
+    counters=None,
+) -> Tuple[Set[OcTreeKey], Set[OcTreeKey]]:
+    """Tree-independent variant of :func:`compute_update_keys`.
+
+    The serving layer's ingestion pipeline ray-casts each scan once in a
+    shared front end and dispatches the resulting key streams to shard
+    workers, so it needs the free/occupied sets without owning a tree.  Only
+    a :class:`~repro.octomap.keys.KeyConverter` (and optionally a counter
+    sink) is required; the de-duplication policy is identical.
+    """
     free_keys: Set[OcTreeKey] = set()
     occupied_keys: Set[OcTreeKey] = set()
 

@@ -1,0 +1,87 @@
+"""Multi-session occupancy-mapping service layer.
+
+The paper's accelerator maps one scene for one caller; this package turns it
+into a *service*: many named map sessions, each sharded over a pool of
+:class:`~repro.core.accelerator.OMUAccelerator` workers, behind a batched
+ingestion pipeline and a cached query engine.
+
+* :mod:`repro.serving.types` -- request / response dataclasses
+  (:class:`ScanRequest`, :class:`QueryResponse`, ...).
+* :mod:`repro.serving.sharding` -- octree-key-prefix shard routing and the
+  :class:`MapShardWorker` accelerator wrapper.
+* :mod:`repro.serving.schedulers` -- pluggable ingestion ordering (FIFO,
+  priority, earliest-deadline-first).
+* :mod:`repro.serving.batching` -- the ingestion pipeline: admission queue,
+  shared ray-casting front end, overlapping-ray de-duplication, per-shard
+  dispatch.
+* :mod:`repro.serving.cache` -- the generation-stamped LRU query cache with
+  per-shard invalidation.
+* :mod:`repro.serving.query_engine` -- cached point / batch / bounding-box /
+  collision-raycast queries.
+* :mod:`repro.serving.stats` -- per-session latency, throughput and cache
+  counters, rendered in the :mod:`repro.analysis` table style.
+* :mod:`repro.serving.session` -- :class:`MapSession`, one tenant's sharded
+  map.
+* :mod:`repro.serving.manager` -- :class:`MapSessionManager`, the service
+  front door.
+* :mod:`repro.serving.cli` -- the ``repro-serve`` demo driver.
+
+Quickstart::
+
+    from repro.serving import MapSessionManager, ScanRequest, SessionConfig
+
+    manager = MapSessionManager(SessionConfig(num_shards=4, scheduler_policy="priority"))
+    manager.ingest(ScanRequest.from_scan_node("warehouse", scan, max_range=15.0))
+    if manager.query("warehouse", 1.0, 0.0, 0.5).occupied:
+        ...
+"""
+
+from repro.serving.batching import IngestionPipeline
+from repro.serving.cache import CacheStats, GenerationLRUCache
+from repro.serving.manager import MapSessionManager
+from repro.serving.query_engine import QueryEngine
+from repro.serving.schedulers import (
+    SCHEDULER_POLICIES,
+    DeadlineScheduler,
+    FifoScheduler,
+    IngestScheduler,
+    PriorityScheduler,
+    make_scheduler,
+)
+from repro.serving.session import MapSession, SessionConfig
+from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.stats import ServiceStats, SessionStats
+from repro.serving.types import (
+    BatchReport,
+    BoxOccupancySummary,
+    IngestReceipt,
+    QueryResponse,
+    RaycastResponse,
+    ScanRequest,
+)
+
+__all__ = [
+    "BatchReport",
+    "BoxOccupancySummary",
+    "CacheStats",
+    "DeadlineScheduler",
+    "FifoScheduler",
+    "GenerationLRUCache",
+    "IngestReceipt",
+    "IngestScheduler",
+    "IngestionPipeline",
+    "MapSession",
+    "MapSessionManager",
+    "MapShardWorker",
+    "PriorityScheduler",
+    "QueryEngine",
+    "QueryResponse",
+    "RaycastResponse",
+    "SCHEDULER_POLICIES",
+    "ScanRequest",
+    "ServiceStats",
+    "SessionConfig",
+    "SessionStats",
+    "ShardRouter",
+    "make_scheduler",
+]

@@ -1,0 +1,173 @@
+"""Batched ingestion: coalesce scan requests into per-shard update streams.
+
+The pipeline sits between request admission and the shard workers:
+
+1. admitted :class:`~repro.serving.types.ScanRequest`\\ s wait in the
+   pluggable scheduler (FIFO / priority / deadline);
+2. a *flush* pops up to ``batch_size`` requests in scheduler order,
+   ray-casts each scan once in the shared front end and de-duplicates
+   overlapping rays within the scan (occupied beats free, each voxel at most
+   one update per scan -- the exact OctoMap ``insertPointCloud`` policy);
+3. the surviving updates are concatenated in dispatch order and partitioned
+   into per-shard streams that the workers apply in parallel.
+
+De-duplication is deliberately *per scan*, not per batch: the clamped
+log-odds update saturates, so collapsing two same-voxel updates from
+different scans into one would change the map whenever a value sits at a
+clamp bound.  Keeping each scan's single update per voxel, in scan order,
+makes batched + sharded ingestion bit-equivalent to sequential insertion of
+the same request sequence (the property the serving tests verify).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.scheduler import VoxelUpdateRequest
+from repro.octomap.counters import OperationCounters
+from repro.octomap.scan_insertion import compute_update_keys_for_converter
+from repro.serving.schedulers import IngestScheduler
+from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.stats import SessionStats
+from repro.serving.types import BatchReport, IngestReceipt, ScanRequest
+
+__all__ = ["IngestionPipeline"]
+
+
+class IngestionPipeline:
+    """Admission queue + shared ray-casting front end + shard dispatcher."""
+
+    def __init__(
+        self,
+        session_id: str,
+        router: ShardRouter,
+        workers: Sequence[MapShardWorker],
+        scheduler: IngestScheduler,
+        stats: SessionStats,
+        batch_size: int = 8,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if len(workers) != router.num_shards:
+            raise ValueError(
+                f"router expects {router.num_shards} shards but {len(workers)} workers given"
+            )
+        self.session_id = session_id
+        self.router = router
+        self.workers = list(workers)
+        self.scheduler = scheduler
+        self.stats = stats
+        self.batch_size = batch_size
+        self.batches_flushed = 0
+        self.reports: List[BatchReport] = []
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: ScanRequest) -> IngestReceipt:
+        """Admit one scan request into the scheduler."""
+        self.scheduler.push(request)
+        depth = len(self.scheduler)
+        self.stats.queue_high_water = max(self.stats.queue_high_water, depth)
+        return IngestReceipt(
+            request_id=request.request_id,
+            session_id=self.session_id,
+            num_points=len(request.cloud),
+            queue_depth=depth,
+        )
+
+    def pending(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return len(self.scheduler)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def flush(self, max_requests: Optional[int] = None) -> Optional[BatchReport]:
+        """Dispatch one batch (up to ``batch_size`` requests); None if idle."""
+        budget = self.batch_size if max_requests is None else max_requests
+        if budget < 1 or not self.scheduler:
+            return None
+        started = time.perf_counter()
+
+        stream: List[VoxelUpdateRequest] = []
+        request_ids: List[int] = []
+        scans = points = rays = visits = 0
+        converter = self.router.converter
+        dda_counters = OperationCounters()
+        while self.scheduler and len(request_ids) < budget:
+            request = self.scheduler.pop()
+            request_ids.append(request.request_id)
+            scans += 1
+            points += len(request.cloud)
+            rays += len(request.cloud)
+            free_keys, occupied_keys = compute_update_keys_for_converter(
+                converter,
+                request.cloud,
+                request.origin,
+                max_range=request.max_range,
+                counters=dda_counters,
+            )
+            # Pre-dedup visits: every DDA step is one free-voxel visit, and
+            # each surviving endpoint voxel is one occupied visit.
+            visits += len(occupied_keys)
+            # The per-scan segment mirrors the accelerator's own issue order:
+            # free voxels first, occupied voxels last, both in sorted key
+            # order (occupied keys were already removed from the free set).
+            stream.extend(
+                VoxelUpdateRequest(key, occupied=False) for key in sorted(free_keys)
+            )
+            stream.extend(
+                VoxelUpdateRequest(key, occupied=True) for key in sorted(occupied_keys)
+            )
+        visits += dda_counters.ray_steps
+
+        per_shard = self.router.partition(stream)
+        shard_cycles: List[int] = []
+        for worker, shard_stream in zip(self.workers, per_shard):
+            timing = worker.apply_updates(shard_stream)
+            shard_cycles.append(timing.critical_path_cycles() if shard_stream else 0)
+
+        wall = time.perf_counter() - started
+        report = BatchReport(
+            session_id=self.session_id,
+            batch_id=self.batches_flushed,
+            request_ids=tuple(request_ids),
+            scans=scans,
+            rays_cast=rays,
+            ray_voxels_visited=visits,
+            voxel_updates=len(stream),
+            duplicates_removed=visits - len(stream),
+            shard_updates=tuple(len(shard_stream) for shard_stream in per_shard),
+            modelled_cycles=max(shard_cycles, default=0),
+            wall_seconds=wall,
+        )
+        self.batches_flushed += 1
+        self.reports.append(report)
+        self._account(report, points)
+        return report
+
+    def flush_all(self) -> List[BatchReport]:
+        """Dispatch batches until the admission queue is empty."""
+        reports: List[BatchReport] = []
+        while self.scheduler:
+            report = self.flush()
+            if report is None:
+                break
+            reports.append(report)
+        return reports
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _account(self, report: BatchReport, points: int) -> None:
+        self.stats.scans_ingested += report.scans
+        self.stats.points_ingested += points
+        self.stats.rays_cast += report.rays_cast
+        self.stats.ray_voxels_visited += report.ray_voxels_visited
+        self.stats.voxel_updates += report.voxel_updates
+        self.stats.duplicates_removed += report.duplicates_removed
+        self.stats.batches_dispatched += 1
+        self.stats.modelled_ingest_cycles += report.modelled_cycles
+        self.stats.ingest_wall_seconds += report.wall_seconds

@@ -1,0 +1,107 @@
+"""Generation-stamped LRU cache fronting the query engine.
+
+Collision checking and planning hammer the same voxels over and over (a
+planner samples the corridor ahead thousands of times per replan), so the
+query engine keeps recent answers in an LRU cache.  Correctness under
+concurrent ingestion comes from *generation stamping*: every cached entry
+records the owning shard's write generation at fill time, and every lookup
+compares it against the shard's current generation.  A write to a shard bumps
+only that shard's generation, so it invalidates exactly that shard's cached
+entries -- lazily, with no scan over the cache -- while the other shards'
+entries keep serving hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "GenerationLRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counter block of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stale_hits: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses; stale hits count as misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class GenerationLRUCache:
+    """An LRU cache whose entries expire when their shard is written.
+
+    Args:
+        capacity: maximum number of live entries; the least recently used
+            entry is evicted on overflow.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        # key -> (shard_id, generation, value); move_to_end keeps LRU order.
+        self._entries: "OrderedDict[Hashable, Tuple[int, int, object]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, current_generation_for_shard) -> Optional[object]:
+        """Look up a key; ``current_generation_for_shard`` maps shard id -> gen.
+
+        Accepts any callable so the query engine can pass a bound method that
+        reads the live worker generations.  Returns the cached value, or
+        ``None`` on a miss (including a stale entry, which is evicted).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        shard_id, generation, value = entry
+        if generation != current_generation_for_shard(shard_id):
+            # The owning shard was written since this entry was cached.
+            del self._entries[key]
+            self.stats.stale_hits += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, shard_id: int, generation: int, value: object) -> None:
+        """Insert or refresh an entry stamped with its shard's generation."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (shard_id, generation, value)
+        self.stats.puts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def live_entries(self, current_generation_for_shard) -> int:
+        """Number of entries that would still hit (without touching LRU order)."""
+        return sum(
+            1
+            for shard_id, generation, _ in self._entries.values()
+            if generation == current_generation_for_shard(shard_id)
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

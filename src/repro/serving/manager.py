@@ -1,0 +1,157 @@
+"""The service front door: many named map sessions behind one manager.
+
+:class:`MapSessionManager` is what a network front end (REST, gRPC or the
+future asyncio layer) would hold: it creates and looks up named
+:class:`~repro.serving.session.MapSession` instances, assigns globally unique
+request ids, routes scan requests and queries to the right session, and
+aggregates every session's counters into one
+:class:`~repro.serving.stats.ServiceStats` view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.session import MapSession, SessionConfig
+from repro.serving.stats import ServiceStats
+from repro.serving.types import BatchReport, IngestReceipt, ScanRequest
+
+__all__ = ["MapSessionManager"]
+
+
+class MapSessionManager:
+    """Owns the map sessions of one service instance."""
+
+    def __init__(self, default_config: Optional[SessionConfig] = None) -> None:
+        self.default_config = default_config if default_config is not None else SessionConfig()
+        self.service_stats = ServiceStats()
+        self._sessions: Dict[str, MapSession] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def create_session(
+        self, session_id: str, config: Optional[SessionConfig] = None
+    ) -> MapSession:
+        """Create a named session; raises if the name is taken."""
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already exists")
+        session = MapSession(session_id, config if config is not None else self.default_config)
+        self._sessions[session_id] = session
+        self.service_stats.register(session.stats)
+        return session
+
+    def get_session(self, session_id: str) -> MapSession:
+        """Look up a session by name; raises KeyError when absent."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown session {session_id!r}; live sessions: {sorted(self._sessions)}"
+            ) from None
+
+    def get_or_create_session(
+        self, session_id: str, config: Optional[SessionConfig] = None
+    ) -> MapSession:
+        """Look up a session, creating it on first use."""
+        if session_id not in self._sessions:
+            return self.create_session(session_id, config)
+        return self._sessions[session_id]
+
+    def close_session(self, session_id: str) -> MapSession:
+        """Remove a session from the service and return it to the caller.
+
+        The session object stays usable (e.g. for a final export); it is just
+        no longer served or aggregated.
+        """
+        session = self.get_session(session_id)
+        del self._sessions[session_id]
+        self.service_stats.forget(session_id)
+        return session
+
+    def session_ids(self) -> Tuple[str, ...]:
+        """Names of every live session, sorted."""
+        return tuple(sorted(self._sessions))
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def submit(self, request: ScanRequest, auto_create: bool = True) -> IngestReceipt:
+        """Stamp a request id and admit the request into its session."""
+        session = (
+            self.get_or_create_session(request.session_id)
+            if auto_create
+            else self.get_session(request.session_id)
+        )
+        stamped = request.with_request_id(self._next_request_id)
+        self._next_request_id += 1
+        return session.submit(stamped)
+
+    def flush(self, session_id: str) -> Optional[BatchReport]:
+        """Dispatch one batch of one session."""
+        return self.get_session(session_id).flush()
+
+    def flush_all(self) -> List[BatchReport]:
+        """Drain every session's admission queue (round-robin by session)."""
+        reports: List[BatchReport] = []
+        # Round-robin one batch at a time so no session starves another.
+        progressed = True
+        while progressed:
+            progressed = False
+            for session_id in self.session_ids():
+                report = self._sessions[session_id].flush()
+                if report is not None:
+                    reports.append(report)
+                    progressed = True
+        return reports
+
+    def ingest(self, request: ScanRequest, auto_create: bool = True) -> BatchReport:
+        """Submit one request and dispatch its session immediately."""
+        receipt = self.submit(request, auto_create=auto_create)
+        session = self.get_session(request.session_id)
+        reports = session.flush_all()
+        assert reports, f"submit produced receipt {receipt} but flush dispatched nothing"
+        return reports[-1]
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def query(self, session_id: str, x: float, y: float, z: float):
+        """Point occupancy query against one session's map."""
+        return self.get_session(session_id).query(x, y, z)
+
+    def query_batch(self, session_id: str, points: Sequence[Sequence[float]]):
+        """Batch point query against one session's map."""
+        return self.get_session(session_id).query_batch(points)
+
+    def query_bbox(self, session_id: str, minimum: Sequence[float], maximum: Sequence[float]):
+        """Bounding-box sweep against one session's map."""
+        return self.get_session(session_id).query_bbox(minimum, maximum)
+
+    def raycast(
+        self,
+        session_id: str,
+        origin: Sequence[float],
+        direction: Sequence[float],
+        max_range: float,
+    ):
+        """Collision raycast against one session's map."""
+        return self.get_session(session_id).raycast(origin, direction, max_range)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_requests(self) -> int:
+        """Admitted-but-undispatched requests across all sessions."""
+        return sum(session.pending_requests() for session in self._sessions.values())
+
+    def render_stats(self) -> str:
+        """The aggregated per-session counter tables, ready to print."""
+        return self.service_stats.render()

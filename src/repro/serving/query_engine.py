@@ -1,0 +1,230 @@
+"""Query engine: cached point / batch / box / raycast queries over shards.
+
+The engine is the read side of a map session.  Every query is resolved at
+voxel-key granularity: the key picks the owning shard, the shard's live write
+generation validates the cache entry, and only on a miss does the query reach
+the shard worker's accelerator.  Box sweeps and collision raycasts decompose
+into point lookups, so they share the cache and its invalidation rules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.octomap.keys import OcTreeKey
+from repro.octomap.raycast import compute_ray_keys
+from repro.octomap.scan_insertion import clip_segment_to_volume
+from repro.serving.cache import GenerationLRUCache
+from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.stats import SessionStats
+from repro.serving.types import BoxOccupancySummary, QueryResponse, RaycastResponse
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Serves occupancy queries for one session, fronted by an LRU cache."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        workers: Sequence[MapShardWorker],
+        cache: GenerationLRUCache,
+        stats: SessionStats,
+        max_box_voxels: int = 200_000,
+    ) -> None:
+        if len(workers) != router.num_shards:
+            raise ValueError(
+                f"router expects {router.num_shards} shards but {len(workers)} workers given"
+            )
+        self.router = router
+        self.workers = list(workers)
+        self.cache = cache
+        self.stats = stats
+        self.max_box_voxels = max_box_voxels
+
+    # ------------------------------------------------------------------
+    # Generations (cache validity)
+    # ------------------------------------------------------------------
+    def generation_of(self, shard_id: int) -> int:
+        """Current write generation of one shard (cache validity stamp)."""
+        return self.workers[shard_id].generation
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def query(self, x: float, y: float, z: float) -> QueryResponse:
+        """Occupancy of the voxel containing a metric point."""
+        try:
+            key = self.router.converter.coord_to_key(x, y, z)
+        except ValueError:
+            # Outside the addressable volume: unknown by definition.
+            self.stats.point_queries += 1
+            return QueryResponse(status="unknown", probability=None, shard_id=-1)
+        return self.query_key(key)
+
+    def query_key(self, key: OcTreeKey) -> QueryResponse:
+        """Occupancy of a voxel by key (the cacheable primitive)."""
+        self.stats.point_queries += 1
+        shard_id = self.router.shard_for_key(key)
+        cache_key = key.as_tuple()
+        cached = self.cache.get(cache_key, self.generation_of)
+        if cached is not None:
+            status, probability = cached
+            return QueryResponse(
+                status=status, probability=probability, shard_id=shard_id, cached=True, cycles=0
+            )
+        worker = self.workers[shard_id]
+        result = worker.query_key(key)
+        self.stats.modelled_query_cycles += result.cycles
+        self.cache.put(
+            cache_key, shard_id, worker.generation, (result.status, result.probability)
+        )
+        return QueryResponse(
+            status=result.status,
+            probability=result.probability,
+            shard_id=shard_id,
+            cached=False,
+            cycles=result.cycles,
+        )
+
+    def query_batch(self, points: Sequence[Sequence[float]]) -> Tuple[QueryResponse, ...]:
+        """Serve a batch of point queries (e.g. sampled poses of a path)."""
+        self.stats.batch_queries += 1
+        return tuple(self.query(*point) for point in points)
+
+    # ------------------------------------------------------------------
+    # Bounding-box sweeps
+    # ------------------------------------------------------------------
+    def query_bbox(
+        self,
+        minimum: Sequence[float],
+        maximum: Sequence[float],
+    ) -> BoxOccupancySummary:
+        """Classify every voxel whose centre lies inside an axis-aligned box.
+
+        Raises:
+            ValueError: when the box covers more than ``max_box_voxels``
+                voxels (guardrail against accidental whole-map sweeps) or is
+                inverted.
+        """
+        resolution = self.router.converter.resolution
+        # Grid indices of the voxels whose centre (index + 0.5) * resolution
+        # lies inside [minimum, maximum] on each axis; an off-grid box
+        # therefore never reports a voxel centred outside it.
+        ranges = []
+        for axis in range(3):
+            if maximum[axis] < minimum[axis]:
+                raise ValueError(
+                    f"inverted box on axis {axis}: {minimum[axis]} > {maximum[axis]}"
+                )
+            first = math.ceil(minimum[axis] / resolution - 0.5 - 1e-9)
+            last = math.floor(maximum[axis] / resolution - 0.5 + 1e-9)
+            ranges.append(range(first, last + 1))
+        total = len(ranges[0]) * len(ranges[1]) * len(ranges[2])
+        if total > self.max_box_voxels:
+            raise ValueError(
+                f"box covers {total} voxels, above the {self.max_box_voxels} guardrail; "
+                "split the sweep or raise max_box_voxels"
+            )
+        self.stats.bbox_queries += 1
+        hits_before = self.cache.stats.hits
+        occupied = free = unknown = 0
+        for ix in ranges[0]:
+            x = (ix + 0.5) * resolution
+            for iy in ranges[1]:
+                y = (iy + 0.5) * resolution
+                for iz in ranges[2]:
+                    z = (iz + 0.5) * resolution
+                    status = self.query(x, y, z).status
+                    if status == "occupied":
+                        occupied += 1
+                    elif status == "free":
+                        free += 1
+                    else:
+                        unknown += 1
+        return BoxOccupancySummary(
+            occupied=occupied,
+            free=free,
+            unknown=unknown,
+            voxels_scanned=total,
+            cache_hits=self.cache.stats.hits - hits_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Collision raycasts
+    # ------------------------------------------------------------------
+    def raycast(
+        self,
+        origin: Sequence[float],
+        direction: Sequence[float],
+        max_range: float,
+    ) -> RaycastResponse:
+        """Walk a ray until it strikes an occupied voxel (collision check)."""
+        if max_range <= 0.0:
+            raise ValueError("max_range must be positive")
+        norm = math.sqrt(sum(component ** 2 for component in direction))
+        if norm <= 0.0:
+            raise ValueError("direction must be a non-zero vector")
+        self.stats.raycast_queries += 1
+        converter = self.router.converter
+        if not converter.is_coordinate_in_range(*origin):
+            # The ray starts outside the addressable volume: everything it
+            # could traverse there is unknown space, so report no collision
+            # (mirrors the point-query path answering "unknown" out of range).
+            return RaycastResponse(
+                hit=False, hit_point=None, distance=0.0, voxels_traversed=0, cache_hits=0
+            )
+        end = tuple(
+            origin[axis] + direction[axis] / norm * max_range for axis in range(3)
+        )
+        if not converter.is_coordinate_in_range(*end):
+            clipped = clip_segment_to_volume(converter, origin, end)
+            if clipped is None:
+                return RaycastResponse(
+                    hit=False, hit_point=None, distance=0.0, voxels_traversed=0, cache_hits=0
+                )
+            end = clipped
+
+        hits_before = self.cache.stats.hits
+        traversed = 0
+        # The DDA yields the voxels strictly between origin and endpoint; the
+        # endpoint voxel is appended so a ray can collide with its last cell.
+        keys: List[OcTreeKey] = compute_ray_keys(converter, origin, end)
+        end_key = converter.coord_to_key(*end)
+        if not keys or keys[-1] != end_key:
+            keys.append(end_key)
+        for key in keys:
+            traversed += 1
+            response = self.query_key(key)
+            if response.occupied:
+                centre = converter.key_to_coord(key)
+                distance = math.sqrt(
+                    sum((centre[axis] - origin[axis]) ** 2 for axis in range(3))
+                )
+                return RaycastResponse(
+                    hit=True,
+                    hit_point=centre,
+                    distance=distance,
+                    voxels_traversed=traversed,
+                    cache_hits=self.cache.stats.hits - hits_before,
+                )
+        return RaycastResponse(
+            hit=False,
+            hit_point=None,
+            distance=max_range,
+            voxels_traversed=traversed,
+            cache_hits=self.cache.stats.hits - hits_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Shorthands
+    # ------------------------------------------------------------------
+    def classify(self, x: float, y: float, z: float) -> str:
+        """Just the occupancy status string of a point."""
+        return self.query(x, y, z).status
+
+    def is_colliding(self, x: float, y: float, z: float) -> bool:
+        """True when the voxel containing the point is occupied."""
+        return self.query(x, y, z).occupied

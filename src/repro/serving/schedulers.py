@@ -1,0 +1,138 @@
+"""Pluggable ingestion schedulers: FIFO, priority and deadline ordering.
+
+The ingestion pipeline decouples request admission from dispatch; the
+scheduler decides which admitted :class:`~repro.serving.types.ScanRequest` is
+integrated next.  All three policies are stable -- ties fall back to the
+service-assigned ``request_id``, i.e. arrival order -- so a workload with
+uniform priorities/deadlines behaves identically under every policy.  That
+stability is also what keeps the serving layer's map equivalent to sequential
+insertion for such workloads (reordering *is* allowed to change the map once
+log-odds values saturate; see the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List
+
+from repro.serving.types import ScanRequest
+
+__all__ = [
+    "IngestScheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "DeadlineScheduler",
+    "SCHEDULER_POLICIES",
+    "make_scheduler",
+]
+
+
+class IngestScheduler:
+    """Interface of an ingestion scheduler (a mutable request queue)."""
+
+    policy = "abstract"
+
+    def push(self, request: ScanRequest) -> None:
+        """Admit one request."""
+        raise NotImplementedError
+
+    def pop(self) -> ScanRequest:
+        """Remove and return the next request to serve."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoScheduler(IngestScheduler):
+    """Serve requests strictly in arrival order."""
+
+    policy = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: List[ScanRequest] = []
+        self._head = 0
+
+    def push(self, request: ScanRequest) -> None:
+        self._queue.append(request)
+
+    def pop(self) -> ScanRequest:
+        if self._head >= len(self._queue):
+            raise IndexError("pop from an empty FIFO scheduler")
+        request = self._queue[self._head]
+        self._head += 1
+        # Compact lazily so pop stays O(1) amortised without unbounded growth.
+        if self._head > 64 and self._head * 2 >= len(self._queue):
+            del self._queue[: self._head]
+            self._head = 0
+        return request
+
+    def __len__(self) -> int:
+        return len(self._queue) - self._head
+
+
+class _HeapScheduler(IngestScheduler):
+    """Shared heap machinery for the priority and deadline policies."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._sequence = 0
+
+    def _sort_key(self, request: ScanRequest) -> tuple:
+        raise NotImplementedError
+
+    def push(self, request: ScanRequest) -> None:
+        # The push sequence breaks any remaining tie (requests themselves are
+        # not orderable) and preserves arrival order among exact equals even
+        # when request ids were never assigned.
+        heapq.heappush(self._heap, (self._sort_key(request), self._sequence, request))
+        self._sequence += 1
+
+    def pop(self) -> ScanRequest:
+        if not self._heap:
+            raise IndexError(f"pop from an empty {self.policy} scheduler")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class PriorityScheduler(_HeapScheduler):
+    """Serve the highest-priority request first (FIFO among equals)."""
+
+    policy = "priority"
+
+    def _sort_key(self, request: ScanRequest) -> tuple:
+        return (-request.priority, request.request_id)
+
+
+class DeadlineScheduler(_HeapScheduler):
+    """Earliest-deadline-first (FIFO among equal deadlines)."""
+
+    policy = "deadline"
+
+    def _sort_key(self, request: ScanRequest) -> tuple:
+        return (request.deadline_s, request.request_id)
+
+
+SCHEDULER_POLICIES: Dict[str, Callable[[], IngestScheduler]] = {
+    "fifo": FifoScheduler,
+    "priority": PriorityScheduler,
+    "deadline": DeadlineScheduler,
+}
+"""Registry of the built-in scheduling policies."""
+
+
+def make_scheduler(policy: str = "fifo") -> IngestScheduler:
+    """Instantiate a scheduler by policy name."""
+    try:
+        factory = SCHEDULER_POLICIES[policy]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler policy {policy!r}; valid policies: "
+            f"{sorted(SCHEDULER_POLICIES)}"
+        ) from None
+    return factory()

@@ -1,0 +1,170 @@
+"""Map sessions: one tenant's map, sharded over a worker pool.
+
+A :class:`MapSession` is the unit of multi-tenancy: it owns a pool of
+:class:`~repro.serving.sharding.MapShardWorker` accelerators partitioned by
+octree-key prefix, an ingestion pipeline feeding them, a cached query engine
+reading them, and a stats block recording everything.  Sessions are fully
+isolated -- nothing but the Python process is shared between two sessions of
+one :class:`~repro.serving.manager.MapSessionManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import DEFAULT_CONFIG, OMUConfig
+from repro.octomap.merge import merge_trees
+from repro.octomap.octree import OccupancyOcTree
+from repro.serving.batching import IngestionPipeline
+from repro.serving.cache import GenerationLRUCache
+from repro.serving.query_engine import QueryEngine
+from repro.serving.schedulers import make_scheduler
+from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.stats import SessionStats
+from repro.serving.types import BatchReport, IngestReceipt, ScanRequest
+
+__all__ = ["SessionConfig", "MapSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of one map session.
+
+    Attributes:
+        num_shards: map shard workers in the session's pool.
+        shard_prefix_levels: octree-key prefix depth used for routing; must
+            satisfy ``num_shards <= 8**shard_prefix_levels``.  The default of
+            12 shards at *block* granularity (16x16x16-voxel subtrees, 3.2 m
+            cubes at 0.2 m resolution).  Shallow prefixes (1-2 levels) are
+            degenerate for maps built near the origin: the top key bits of
+            every axis are anti-correlated there (positive coordinates start
+            ``10...``, negative ``01...``), so octant-level sharding cannot
+            split any one octant's work and buys almost no parallelism.
+        scheduler_policy: ``"fifo"``, ``"priority"`` or ``"deadline"``.
+        batch_size: scans coalesced per ingestion batch.
+        cache_capacity: entries of the query LRU cache.
+        accelerator: configuration of every shard's accelerator (resolution,
+            PE count, fixed point, ...).
+        default_max_range: beam truncation applied when a request does not
+            set its own.
+    """
+
+    num_shards: int = 2
+    shard_prefix_levels: int = 12
+    scheduler_policy: str = "fifo"
+    batch_size: int = 8
+    cache_capacity: int = 4096
+    accelerator: OMUConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    default_max_range: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
+
+    def with_resolution(self, resolution_m: float) -> "SessionConfig":
+        """Copy with a different map resolution on every shard."""
+        return replace(self, accelerator=self.accelerator.with_resolution(resolution_m))
+
+
+class MapSession:
+    """One named occupancy map served by a sharded worker pool."""
+
+    def __init__(self, session_id: str, config: Optional[SessionConfig] = None) -> None:
+        if not session_id:
+            raise ValueError("session_id must be a non-empty string")
+        self.session_id = session_id
+        self.config = config if config is not None else SessionConfig()
+        self.stats = SessionStats(session_id=session_id)
+        self.router = ShardRouter(
+            self.config.accelerator,
+            self.config.num_shards,
+            prefix_levels=self.config.shard_prefix_levels,
+        )
+        self.workers: List[MapShardWorker] = [
+            MapShardWorker(shard_id, self.config.accelerator)
+            for shard_id in range(self.config.num_shards)
+        ]
+        self.pipeline = IngestionPipeline(
+            session_id,
+            self.router,
+            self.workers,
+            make_scheduler(self.config.scheduler_policy),
+            self.stats,
+            batch_size=self.config.batch_size,
+        )
+        self.cache = GenerationLRUCache(self.config.cache_capacity)
+        self.query_engine = QueryEngine(self.router, self.workers, self.cache, self.stats)
+        self.stats.cache = self.cache.stats
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def submit(self, request: ScanRequest) -> IngestReceipt:
+        """Admit a scan request (dispatch happens on the next flush)."""
+        if request.session_id != self.session_id:
+            raise ValueError(
+                f"request for session {request.session_id!r} submitted to "
+                f"session {self.session_id!r}"
+            )
+        if request.max_range < 0.0 and self.config.default_max_range > 0.0:
+            request = replace(request, max_range=self.config.default_max_range)
+        return self.pipeline.submit(request)
+
+    def flush(self) -> Optional[BatchReport]:
+        """Dispatch one batch of admitted requests; None when idle."""
+        return self.pipeline.flush()
+
+    def flush_all(self) -> List[BatchReport]:
+        """Dispatch until the admission queue is empty."""
+        return self.pipeline.flush_all()
+
+    def ingest(self, request: ScanRequest) -> BatchReport:
+        """Submit one request and dispatch immediately (synchronous path)."""
+        self.submit(request)
+        reports = self.flush_all()
+        return reports[-1]
+
+    def pending_requests(self) -> int:
+        """Admitted requests not yet integrated into the map."""
+        return self.pipeline.pending()
+
+    # ------------------------------------------------------------------
+    # Read path (delegates to the query engine)
+    # ------------------------------------------------------------------
+    def query(self, x: float, y: float, z: float):
+        """Point occupancy query; see :meth:`QueryEngine.query`."""
+        return self.query_engine.query(x, y, z)
+
+    def query_batch(self, points: Sequence[Sequence[float]]):
+        """Batch point query; see :meth:`QueryEngine.query_batch`."""
+        return self.query_engine.query_batch(points)
+
+    def query_bbox(self, minimum: Sequence[float], maximum: Sequence[float]):
+        """Bounding-box sweep; see :meth:`QueryEngine.query_bbox`."""
+        return self.query_engine.query_bbox(minimum, maximum)
+
+    def raycast(self, origin: Sequence[float], direction: Sequence[float], max_range: float):
+        """Collision raycast; see :meth:`QueryEngine.raycast`."""
+        return self.query_engine.raycast(origin, direction, max_range)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_octree(self) -> OccupancyOcTree:
+        """Stitch every shard's exported subtree into one software octree."""
+        accelerator = self.config.accelerator
+        return merge_trees(
+            (worker.export_octree() for worker in self.workers),
+            resolution=accelerator.resolution_m,
+            tree_depth=accelerator.tree_depth,
+            params=accelerator.quantized_params().as_float_params(),
+        )
+
+    def shard_load(self) -> Tuple[int, ...]:
+        """Updates applied per shard (load-balance view)."""
+        return tuple(worker.updates_applied for worker in self.workers)

@@ -1,0 +1,132 @@
+"""Spatial sharding: octree-key-prefix routing and map shard workers.
+
+A map session spreads its octree over a pool of shard workers, each a full
+:class:`~repro.core.accelerator.OMUAccelerator` instance that owns a disjoint
+region of the key space.  Routing reuses the accelerator's own
+address-generation view of the key bits: the first ``prefix_levels`` child
+indices of the root-to-leaf path select the subtree, and the subtree number
+modulo the shard count selects the worker (see
+:meth:`repro.core.address_gen.AddressGenerator.shard_index`).
+
+This is the same first-level-branch partitioning the paper uses *inside* one
+accelerator, lifted one level up: PEs parallelise within a chip, shards
+parallelise across chips (or across processes, once the serving layer grows a
+distributed backend).
+
+Prefix depth picks the granularity.  ``prefix_levels=1`` shards by octant;
+deeper prefixes shard by progressively smaller blocks (the session default of
+12 gives 16x16x16-voxel blocks).  Because a shard can only prune a subtree
+whose eight children it fully owns, and modulo routing never hands all eight
+children of an above-prefix node to one shard (for ``num_shards >= 2``),
+every exported leaf -- pruned or not -- stays inside its shard's own key
+region, which is what makes the export stitch conflict-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.accelerator import OMUAccelerator
+from repro.core.address_gen import AddressGenerator
+from repro.core.config import OMUConfig
+from repro.core.query_unit import QueryResult
+from repro.core.scheduler import VoxelUpdateRequest
+from repro.core.timing import ScanTiming
+from repro.octomap.keys import KeyConverter, OcTreeKey
+from repro.octomap.octree import OccupancyOcTree
+
+__all__ = ["ShardRouter", "MapShardWorker"]
+
+
+class ShardRouter:
+    """Maps voxel keys (and metric points) to shard ids."""
+
+    def __init__(self, config: OMUConfig, num_shards: int, prefix_levels: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if not 1 <= prefix_levels <= config.tree_depth:
+            raise ValueError(
+                f"prefix_levels must be in [1, {config.tree_depth}], got {prefix_levels}"
+            )
+        # With P prefix levels there are 8**P distinct subtrees; more shards
+        # than subtrees would leave workers permanently idle.
+        if num_shards > 8 ** prefix_levels:
+            raise ValueError(
+                f"{num_shards} shards but only 8**{prefix_levels} = "
+                f"{8 ** prefix_levels} key-prefix subtrees; raise prefix_levels"
+            )
+        self.num_shards = num_shards
+        self.prefix_levels = prefix_levels
+        self._address_generator = AddressGenerator(
+            config.resolution_m, config.tree_depth, config.num_pes
+        )
+
+    @property
+    def converter(self) -> KeyConverter:
+        """The coordinate <-> key converter shared by every shard."""
+        return self._address_generator.converter
+
+    def shard_for_key(self, key: OcTreeKey) -> int:
+        """Shard id owning a voxel key."""
+        return self._address_generator.shard_index(key, self.num_shards, self.prefix_levels)
+
+    def shard_for_point(self, x: float, y: float, z: float) -> int:
+        """Shard id owning the voxel containing a metric point."""
+        return self.shard_for_key(self.converter.coord_to_key(x, y, z))
+
+    def partition(
+        self, requests: Sequence[VoxelUpdateRequest]
+    ) -> List[List[VoxelUpdateRequest]]:
+        """Split an ordered update stream into per-shard streams.
+
+        Stream order is preserved inside each shard, and every update for a
+        given voxel lands on the same shard -- together these guarantee that
+        per-voxel update order matches the global stream, which is what makes
+        sharded ingestion equivalent to sequential insertion.
+        """
+        per_shard: List[List[VoxelUpdateRequest]] = [[] for _ in range(self.num_shards)]
+        for request in requests:
+            per_shard[self.shard_for_key(request.key)].append(request)
+        return per_shard
+
+
+class MapShardWorker:
+    """One shard of a session's map: an accelerator plus a write generation.
+
+    The worker is the unit of parallelism and of cache invalidation: every
+    applied batch bumps :attr:`generation`, which the query cache uses to
+    lazily drop stale entries for this shard only.
+    """
+
+    def __init__(self, shard_id: int, config: OMUConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.accelerator = OMUAccelerator(config)
+        self.generation = 0
+        self.batches_applied = 0
+        self.updates_applied = 0
+
+    def apply_updates(self, requests: Sequence[VoxelUpdateRequest]) -> ScanTiming:
+        """Apply an ordered update stream and invalidate this shard's cache."""
+        timing = self.accelerator.apply_update_batch(requests)
+        if requests:
+            self.generation += 1
+            self.batches_applied += 1
+            self.updates_applied += len(requests)
+        return timing
+
+    def query(self, x: float, y: float, z: float) -> QueryResult:
+        """Occupancy query served by this shard's accelerator."""
+        return self.accelerator.query(x, y, z)
+
+    def query_key(self, key: OcTreeKey) -> QueryResult:
+        """Occupancy query by voxel key (centre-of-voxel metric lookup)."""
+        return self.accelerator.query(*self.accelerator.address_generator.converter.key_to_coord(key))
+
+    def export_octree(self) -> OccupancyOcTree:
+        """This shard's region of the map as a software octree."""
+        return self.accelerator.export_octree()
+
+    def busy_cycles(self) -> int:
+        """Total modelled busy cycles of this shard's accelerator."""
+        return self.accelerator.map_critical_path_cycles()

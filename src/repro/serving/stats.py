@@ -1,0 +1,185 @@
+"""Service statistics: per-session latency / throughput / cache counters.
+
+Every map session owns a :class:`SessionStats` block that the ingestion
+pipeline and query engine update in place; :class:`ServiceStats` aggregates
+the blocks of all live sessions and renders them through the same
+:mod:`repro.analysis.tables` helpers the paper-reproduction experiment
+drivers use, so service dashboards and paper tables share one look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.tables import render_table
+from repro.serving.cache import CacheStats
+
+__all__ = ["SessionStats", "ServiceStats"]
+
+
+@dataclass
+class SessionStats:
+    """Counters of one map session.
+
+    Ingestion counters are updated per dispatched batch; query counters per
+    served query.  ``modelled_*`` figures come from the accelerator cycle
+    model (what the hardware would take), ``wall_seconds`` measures the
+    Python host process.
+    """
+
+    session_id: str = ""
+    # --- ingestion ---
+    scans_ingested: int = 0
+    points_ingested: int = 0
+    rays_cast: int = 0
+    ray_voxels_visited: int = 0
+    voxel_updates: int = 0
+    duplicates_removed: int = 0
+    batches_dispatched: int = 0
+    modelled_ingest_cycles: int = 0
+    ingest_wall_seconds: float = 0.0
+    queue_high_water: int = 0
+    # --- queries ---
+    point_queries: int = 0
+    batch_queries: int = 0
+    bbox_queries: int = 0
+    raycast_queries: int = 0
+    modelled_query_cycles: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def dedup_fraction(self) -> float:
+        """Share of ray-voxel visits removed by de-duplication."""
+        if self.ray_voxels_visited == 0:
+            return 0.0
+        return self.duplicates_removed / self.ray_voxels_visited
+
+    @property
+    def updates_per_scan(self) -> float:
+        """Mean voxel updates dispatched per ingested scan."""
+        if self.scans_ingested == 0:
+            return 0.0
+        return self.voxel_updates / self.scans_ingested
+
+    def modelled_ingest_seconds(self, clock_hz: float) -> float:
+        """Modelled hardware ingestion time at a given clock."""
+        return self.modelled_ingest_cycles / clock_hz
+
+    def modelled_updates_per_second(self, clock_hz: float) -> float:
+        """Modelled sustained voxel-update throughput."""
+        seconds = self.modelled_ingest_seconds(clock_hz)
+        if seconds <= 0.0:
+            return 0.0
+        return self.voxel_updates / seconds
+
+
+class ServiceStats:
+    """Aggregated view over every session's counter block."""
+
+    INGEST_HEADERS: Tuple[str, ...] = (
+        "Session",
+        "Scans",
+        "Points",
+        "Updates",
+        "Dedup (%)",
+        "Batches",
+        "Modelled cycles",
+        "Wall (s)",
+    )
+    QUERY_HEADERS: Tuple[str, ...] = (
+        "Session",
+        "Point queries",
+        "Raycasts",
+        "Bbox",
+        "Cache hits",
+        "Cache misses",
+        "Hit rate (%)",
+        "Stale drops",
+    )
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, SessionStats] = {}
+
+    def register(self, stats: SessionStats) -> SessionStats:
+        """Track one session's counter block (idempotent by session id)."""
+        self._sessions[stats.session_id] = stats
+        return stats
+
+    def forget(self, session_id: str) -> None:
+        """Stop tracking a closed session."""
+        self._sessions.pop(session_id, None)
+
+    def __iter__(self):
+        return iter(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def session(self, session_id: str) -> SessionStats:
+        """Counter block of one session."""
+        return self._sessions[session_id]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_voxel_updates(self) -> int:
+        """Voxel updates dispatched across all sessions."""
+        return sum(stats.voxel_updates for stats in self)
+
+    def total_queries(self) -> int:
+        """Point queries served across all sessions."""
+        return sum(stats.point_queries for stats in self)
+
+    def overall_hit_rate(self) -> float:
+        """Cache hit rate pooled over all sessions."""
+        hits = sum(stats.cache.hits for stats in self)
+        lookups = sum(stats.cache.lookups for stats in self)
+        if lookups == 0:
+            return 0.0
+        return hits / lookups
+
+    # ------------------------------------------------------------------
+    # Rendering (plugs into the repro.analysis table style)
+    # ------------------------------------------------------------------
+    def ingest_rows(self) -> List[Tuple[object, ...]]:
+        """Table rows of the ingestion-side counters."""
+        return [
+            (
+                stats.session_id,
+                stats.scans_ingested,
+                stats.points_ingested,
+                stats.voxel_updates,
+                100.0 * stats.dedup_fraction,
+                stats.batches_dispatched,
+                stats.modelled_ingest_cycles,
+                stats.ingest_wall_seconds,
+            )
+            for stats in sorted(self, key=lambda s: s.session_id)
+        ]
+
+    def query_rows(self) -> List[Tuple[object, ...]]:
+        """Table rows of the query-side counters."""
+        return [
+            (
+                stats.session_id,
+                stats.point_queries,
+                stats.raycast_queries,
+                stats.bbox_queries,
+                stats.cache.hits,
+                stats.cache.misses,
+                100.0 * stats.cache.hit_rate,
+                stats.cache.stale_hits,
+            )
+            for stats in sorted(self, key=lambda s: s.session_id)
+        ]
+
+    def render(self) -> str:
+        """Both counter tables as one printable block."""
+        ingest = render_table(
+            "Serving: ingestion per session", self.INGEST_HEADERS, self.ingest_rows()
+        )
+        query = render_table(
+            "Serving: queries per session", self.QUERY_HEADERS, self.query_rows()
+        )
+        return ingest + "\n\n" + query

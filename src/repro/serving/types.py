@@ -1,0 +1,179 @@
+"""Request and response types of the occupancy-mapping service.
+
+Everything a client exchanges with :class:`~repro.serving.manager.
+MapSessionManager` is a small immutable dataclass defined here, so the
+session, pipeline, query-engine and stats layers share one vocabulary and the
+wire format of a future RPC front end is already pinned down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.octomap.pointcloud import PointCloud, ScanNode
+
+__all__ = [
+    "ScanRequest",
+    "IngestReceipt",
+    "BatchReport",
+    "QueryResponse",
+    "BoxOccupancySummary",
+    "RaycastResponse",
+]
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """One client scan awaiting ingestion into a map session.
+
+    Attributes:
+        session_id: name of the map session the scan belongs to.
+        cloud: scan points already expressed in the world frame.
+        origin: sensor origin in the world frame.
+        max_range: beam truncation range (``-1`` disables truncation).
+        priority: larger values are served first by the priority scheduler.
+        deadline_s: absolute service deadline in seconds (earliest-deadline-
+            first scheduling); ``inf`` means "no deadline".
+        client_id: opaque client tag carried through to the stats layer.
+        request_id: service-assigned monotonically increasing id; also the
+            FIFO tiebreaker of every scheduler, so equal-priority /
+            equal-deadline requests keep arrival order.
+    """
+
+    session_id: str
+    cloud: PointCloud
+    origin: Tuple[float, float, float]
+    max_range: float = -1.0
+    priority: int = 0
+    deadline_s: float = math.inf
+    client_id: str = ""
+    request_id: int = -1
+
+    @classmethod
+    def from_scan_node(
+        cls,
+        session_id: str,
+        scan: ScanNode,
+        max_range: float = -1.0,
+        priority: int = 0,
+        deadline_s: float = math.inf,
+        client_id: str = "",
+    ) -> "ScanRequest":
+        """Build a request from a dataset scan node (world-frame conversion included)."""
+        origin = scan.origin()
+        return cls(
+            session_id=session_id,
+            cloud=scan.world_cloud(),
+            origin=(float(origin[0]), float(origin[1]), float(origin[2])),
+            max_range=max_range,
+            priority=priority,
+            deadline_s=deadline_s,
+            client_id=client_id,
+        )
+
+    def with_request_id(self, request_id: int) -> "ScanRequest":
+        """Copy of this request carrying the service-assigned id."""
+        return replace(self, request_id=request_id)
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """Acknowledgement returned when a scan request is accepted."""
+
+    request_id: int
+    session_id: str
+    num_points: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Summary of one dispatched ingestion batch.
+
+    Attributes:
+        session_id: session the batch belonged to.
+        batch_id: per-session batch sequence number.
+        request_ids: requests in dispatch order (the scheduler's order).
+        scans: number of scans coalesced into the batch.
+        rays_cast: beams ray-cast by the shared front end.
+        ray_voxels_visited: voxel visits before de-duplication.
+        voxel_updates: updates actually dispatched after de-duplication.
+        duplicates_removed: visits removed by the overlapping-ray de-dup.
+        shard_updates: updates dispatched to each shard (index = shard id).
+        modelled_cycles: critical-path cycles of the batch (slowest shard;
+            the shard workers run in parallel).
+        wall_seconds: host-side wall-clock time spent processing the batch.
+    """
+
+    session_id: str
+    batch_id: int
+    request_ids: Tuple[int, ...]
+    scans: int
+    rays_cast: int
+    ray_voxels_visited: int
+    voxel_updates: int
+    duplicates_removed: int
+    shard_updates: Tuple[int, ...]
+    modelled_cycles: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answer to one point occupancy query.
+
+    Attributes:
+        status: ``"occupied"``, ``"free"`` or ``"unknown"``.
+        probability: occupancy probability, or ``None`` when unknown.
+        shard_id: shard that owns (or would own) the voxel.
+        cached: True when the answer came from the query cache.
+        cycles: modelled service cycles (0 for a cache hit).
+    """
+
+    status: str
+    probability: Optional[float]
+    shard_id: int
+    cached: bool = False
+    cycles: int = 0
+
+    @property
+    def occupied(self) -> bool:
+        """Shorthand collision predicate."""
+        return self.status == "occupied"
+
+
+@dataclass(frozen=True)
+class BoxOccupancySummary:
+    """Aggregate of a bounding-box occupancy sweep."""
+
+    occupied: int
+    free: int
+    unknown: int
+    voxels_scanned: int
+    cache_hits: int
+
+    @property
+    def any_occupied(self) -> bool:
+        """True when at least one voxel inside the box is occupied."""
+        return self.occupied > 0
+
+
+@dataclass(frozen=True)
+class RaycastResponse:
+    """Result of a collision ray query.
+
+    Attributes:
+        hit: whether the ray struck an occupied voxel.
+        hit_point: metric centre of the struck voxel (``None`` when no hit).
+        distance: metric distance from the origin to the hit point.
+        voxels_traversed: voxels inspected along the ray.
+        cache_hits: inspections served from the query cache.
+    """
+
+    hit: bool
+    hit_point: Optional[Tuple[float, float, float]]
+    distance: float
+    voxels_traversed: int
+    cache_hits: int

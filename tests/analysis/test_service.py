@@ -1,0 +1,40 @@
+"""The service-level experiment driver."""
+
+from __future__ import annotations
+
+from repro.analysis import run_service_workload, service_scaling_experiment
+from repro.datasets.streams import ClientSpec
+
+TINY_CLIENTS = (
+    ClientSpec(client_id="a", session_id="s1", scene="corridor", num_scans=1, priority=1),
+    ClientSpec(client_id="b", session_id="s2", scene="campus", num_scans=1),
+)
+
+
+def test_run_service_workload_returns_populated_manager():
+    manager = run_service_workload(TINY_CLIENTS, num_shards=2, query_rounds=2)
+    assert manager.session_ids() == ("s1", "s2")
+    assert manager.service_stats.total_voxel_updates() > 0
+    assert manager.service_stats.total_queries() > 0
+    assert manager.service_stats.overall_hit_rate() > 0.0
+
+
+def test_service_scaling_experiment_table_shape():
+    result = service_scaling_experiment(
+        TINY_CLIENTS,
+        scheduler_policies=("fifo", "priority"),
+        shard_counts=(1, 2),
+    )
+    assert result.experiment_id == "service_scaling"
+    assert len(result.rows) == 4
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    assert "Serving layer" in result.rendered
+    # Every configuration dispatched the same updates (equivalence!) ...
+    updates = {row[4] for row in result.rows}
+    assert len(updates) == 1
+    # ... and sharding never slows the modelled ingest down.
+    by_policy = {}
+    for row in result.rows:
+        by_policy.setdefault(row[0], {})[row[1]] = row[6]
+    for policy, latencies in by_policy.items():
+        assert latencies[2] <= latencies[1] * 1.001, (policy, latencies)

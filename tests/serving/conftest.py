@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving-layer tests: tiny scan workloads."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.octomap import PointCloud, Pose6D, ScanNode
+from repro.serving import ScanRequest
+
+
+def ring_scan(origin_x: float, scan_id: int, radius: float = 2.5, beams: int = 90) -> ScanNode:
+    """One small ring scan observed from ``(origin_x, 0, 0.2)``."""
+    points = [
+        (
+            radius * math.cos(azimuth) + 0.2 * math.sin(3.0 * azimuth),
+            radius * math.sin(azimuth),
+            0.3 * math.sin(2.0 * azimuth),
+        )
+        for azimuth in np.linspace(-math.pi, math.pi, beams, endpoint=False)
+    ]
+    return ScanNode(PointCloud(points), Pose6D((origin_x, 0.0, 0.2)), scan_id=scan_id)
+
+
+@pytest.fixture
+def small_scans() -> List[ScanNode]:
+    """Three overlapping ring scans (re-updates the same voxels repeatedly)."""
+    return [ring_scan(origin_x, scan_id) for scan_id, origin_x in enumerate((-0.6, 0.0, 0.6))]
+
+
+@pytest.fixture
+def small_requests(small_scans) -> List[ScanRequest]:
+    """The ring scans wrapped as requests for session ``"map"``."""
+    return [
+        ScanRequest.from_scan_node("map", scan).with_request_id(index)
+        for index, scan in enumerate(small_scans)
+    ]

@@ -1,0 +1,134 @@
+"""Cache behaviour: warm-up hits, per-shard invalidation, LRU eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import GenerationLRUCache, MapSession, SessionConfig
+from repro.serving.types import ScanRequest
+
+
+# ---------------------------------------------------------------------------
+# Unit level: GenerationLRUCache
+# ---------------------------------------------------------------------------
+def test_put_get_roundtrip_and_counters():
+    cache = GenerationLRUCache(capacity=8)
+    generations = {0: 0, 1: 0}
+    cache.put(("a",), 0, 0, "value-a")
+    assert cache.get(("a",), generations.__getitem__) == "value-a"
+    assert cache.get(("missing",), generations.__getitem__) is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_generation_bump_invalidates_only_that_shard():
+    cache = GenerationLRUCache(capacity=8)
+    generations = {0: 0, 1: 0}
+    cache.put(("shard0-key",), 0, 0, "v0")
+    cache.put(("shard1-key",), 1, 0, "v1")
+    assert cache.live_entries(generations.__getitem__) == 2
+
+    generations[0] += 1  # a write lands on shard 0
+
+    assert cache.live_entries(generations.__getitem__) == 1
+    assert cache.get(("shard0-key",), generations.__getitem__) is None  # stale, evicted
+    assert cache.get(("shard1-key",), generations.__getitem__) == "v1"  # untouched
+    assert cache.stats.stale_hits == 1
+    assert len(cache) == 1
+
+
+def test_lru_eviction_drops_least_recently_used():
+    cache = GenerationLRUCache(capacity=2)
+    generation = lambda shard_id: 0
+    cache.put("a", 0, 0, 1)
+    cache.put("b", 0, 0, 2)
+    assert cache.get("a", generation) == 1  # refresh "a"; "b" is now LRU
+    cache.put("c", 0, 0, 3)
+    assert cache.stats.evictions == 1
+    assert cache.get("b", generation) is None
+    assert cache.get("a", generation) == 1
+    assert cache.get("c", generation) == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        GenerationLRUCache(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Integration level: the cache inside a live session
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def warm_session(small_requests):
+    session = MapSession("map", SessionConfig(num_shards=2, batch_size=4))
+    for request in small_requests:
+        session.submit(request)
+    session.flush_all()
+    return session
+
+
+def test_repeated_point_queries_hit_the_cache(warm_session):
+    point = (1.2, 0.3, 0.2)
+    first = warm_session.query(*point)
+    assert not first.cached
+    second = warm_session.query(*point)
+    assert second.cached
+    assert second.status == first.status
+    assert second.probability == first.probability
+    assert warm_session.stats.cache.hits >= 1
+    # Cache hits cost no modelled accelerator cycles.
+    assert second.cycles == 0
+
+
+def test_write_invalidates_only_the_written_shards(warm_session, small_scans):
+    converter = warm_session.router.converter
+    # Two probe points on different shards.
+    probes = [(1.2, 0.3, 0.2), (-1.4, -0.7, 0.0)]
+    shard_ids = [warm_session.router.shard_for_point(*p) for p in probes]
+    assert shard_ids[0] != shard_ids[1], "pick probes on distinct shards"
+    for probe in probes:
+        warm_session.query(*probe)  # fill
+
+    # Craft a scan whose updates all land on probe 0's shard: a zero-length
+    # batch for the other shard leaves its generation untouched.
+    key0 = converter.coord_to_key(*probes[0])
+    target_worker = warm_session.workers[shard_ids[0]]
+    other_worker = warm_session.workers[shard_ids[1]]
+    generation_before = (target_worker.generation, other_worker.generation)
+    from repro.core.scheduler import VoxelUpdateRequest
+
+    target_worker.apply_updates([VoxelUpdateRequest(key0, occupied=True)])
+    assert target_worker.generation == generation_before[0] + 1
+    assert other_worker.generation == generation_before[1]
+
+    hits_before = warm_session.stats.cache.hits
+    stale_before = warm_session.stats.cache.stale_hits
+    invalidated = warm_session.query(*probes[0])   # stale -> served fresh
+    untouched = warm_session.query(*probes[1])     # still cached
+    assert not invalidated.cached
+    assert untouched.cached
+    assert warm_session.stats.cache.stale_hits == stale_before + 1
+    assert warm_session.stats.cache.hits == hits_before + 1
+
+
+def test_ingest_through_pipeline_bumps_generations(warm_session, small_scans):
+    generations_before = [worker.generation for worker in warm_session.workers]
+    warm_session.ingest(
+        ScanRequest.from_scan_node("map", small_scans[0]).with_request_id(99)
+    )
+    generations_after = [worker.generation for worker in warm_session.workers]
+    # The ring scan spans the whole map, so every shard received updates.
+    assert all(after > before for before, after in zip(generations_before, generations_after))
+
+
+def test_raycast_and_bbox_share_the_point_cache(warm_session):
+    box = warm_session.query_bbox((-0.6, -0.6, 0.0), (0.6, 0.6, 0.2))
+    assert box.voxels_scanned > 0
+    repeat = warm_session.query_bbox((-0.6, -0.6, 0.0), (0.6, 0.6, 0.2))
+    assert repeat.cache_hits == repeat.voxels_scanned
+    assert (repeat.occupied, repeat.free, repeat.unknown) == (
+        box.occupied,
+        box.free,
+        box.unknown,
+    )

@@ -1,0 +1,43 @@
+"""The ``repro-serve`` CLI demo driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.sessions == 2
+    assert args.scheduler == "fifo"
+    assert args.shards == 2
+
+
+def test_parser_rejects_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--scheduler", "lifo"])
+
+
+def test_main_runs_and_prints_stats(capsys):
+    exit_code = main(
+        [
+            "--sessions", "2",
+            "--scans", "1",
+            "--shards", "2",
+            "--batch-size", "2",
+            "--scheduler", "priority",
+            "--queries", "2",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Serving: ingestion per session" in captured
+    assert "Serving: queries per session" in captured
+    assert "session-0" in captured and "session-1" in captured
+    assert "Overall cache hit rate" in captured
+
+
+def test_main_rejects_zero_sessions(capsys):
+    assert main(["--sessions", "0"]) == 2
+    assert "at least 1" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Query engine: point, batch, bounding-box and collision-raycast queries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serving import MapSession, ScanRequest, SessionConfig
+
+
+@pytest.fixture
+def warm_session(small_requests):
+    session = MapSession("map", SessionConfig(num_shards=2, batch_size=4))
+    for request in small_requests:
+        session.submit(request)
+    session.flush_all()
+    return session
+
+
+def test_point_query_matches_exported_tree(warm_session):
+    tree = warm_session.export_octree()
+    for point in ((1.2, 0.3, 0.2), (0.0, 0.0, 0.2), (-2.0, 1.5, 0.0), (9.0, 9.0, 9.0)):
+        assert warm_session.query(*point).status == tree.classify(*point)
+
+
+def test_out_of_volume_query_is_unknown(warm_session):
+    limit = warm_session.router.converter.max_coordinate
+    response = warm_session.query(limit * 2.0, 0.0, 0.0)
+    assert response.status == "unknown"
+    assert response.probability is None
+    assert response.shard_id == -1
+
+
+def test_batch_query_matches_pointwise(warm_session):
+    points = [(0.4 * index, 0.1, 0.2) for index in range(-5, 6)]
+    batch = warm_session.query_batch(points)
+    assert len(batch) == len(points)
+    for point, response in zip(points, batch):
+        assert response.status == warm_session.query(*point).status
+
+
+def test_bbox_counts_add_up(warm_session):
+    summary = warm_session.query_bbox((-1.0, -1.0, 0.0), (1.0, 1.0, 0.4))
+    assert summary.occupied + summary.free + summary.unknown == summary.voxels_scanned
+    assert summary.voxels_scanned > 0
+
+
+def test_bbox_guardrail_and_validation(warm_session):
+    warm_session.query_engine.max_box_voxels = 10
+    with pytest.raises(ValueError, match="guardrail"):
+        warm_session.query_bbox((-5.0, -5.0, -5.0), (5.0, 5.0, 5.0))
+    with pytest.raises(ValueError, match="inverted box"):
+        warm_session.query_bbox((1.0, 0.0, 0.0), (-1.0, 0.0, 0.0))
+
+
+def test_raycast_hits_the_ring_wall(warm_session):
+    # The fixture scans observe a ring of wall points at radius ~2.5 m; a ray
+    # fired outwards from the centre must collide with it.
+    response = warm_session.raycast((0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 6.0)
+    assert response.hit
+    assert response.hit_point is not None
+    assert 1.5 < response.distance < 3.5
+    assert response.voxels_traversed > 0
+
+    # Distance is consistent with the returned hit point.
+    dx = [response.hit_point[axis] - (0.0, 0.0, 0.2)[axis] for axis in range(3)]
+    assert math.sqrt(sum(d * d for d in dx)) == pytest.approx(response.distance)
+
+
+def test_raycast_miss_reports_full_range(warm_session):
+    response = warm_session.raycast((0.0, 0.0, 0.2), (0.0, 0.0, 1.0), 1.0)
+    assert not response.hit
+    assert response.hit_point is None
+    assert response.distance == pytest.approx(1.0)
+
+
+def test_raycast_agrees_with_software_cast(warm_session):
+    tree = warm_session.export_octree()
+    origin, direction, max_range = (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 6.0
+    service = warm_session.raycast(origin, direction, max_range)
+    software = tree.cast_ray(origin, direction, max_range=max_range)
+    assert service.hit == software.hit
+    if service.hit:
+        for axis in range(3):
+            assert service.hit_point[axis] == pytest.approx(software.end_point[axis], abs=0.21)
+
+
+def test_raycast_from_outside_the_volume_is_a_clean_miss(warm_session):
+    limit = warm_session.router.converter.max_coordinate
+    response = warm_session.raycast((limit + 10.0, 0.0, 0.0), (-1.0, 0.0, 0.0), 5.0)
+    assert not response.hit
+    assert response.voxels_traversed == 0
+
+
+def test_bbox_only_counts_voxel_centres_inside_the_box(warm_session):
+    resolution = warm_session.router.converter.resolution  # 0.2 m
+    # A box strictly between two voxel-centre planes contains no centres.
+    empty = warm_session.query_bbox((0.21, 0.21, 0.21), (0.29, 0.29, 0.29))
+    assert empty.voxels_scanned == 0
+    assert empty.occupied == empty.free == empty.unknown == 0
+    # A grid-aligned 2x2x2-centre box scans exactly eight voxels.
+    aligned = warm_session.query_bbox((0.0, 0.0, 0.0), (2 * resolution, 2 * resolution, 2 * resolution))
+    assert aligned.voxels_scanned == 8
+
+
+def test_raycast_validation(warm_session):
+    with pytest.raises(ValueError, match="max_range"):
+        warm_session.raycast((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0)
+    with pytest.raises(ValueError, match="non-zero"):
+        warm_session.raycast((0.0, 0.0, 0.0), (0.0, 0.0, 0.0), 1.0)
+
+
+def test_classify_and_collision_shorthands(warm_session):
+    assert warm_session.query_engine.classify(0.0, 0.0, 0.2) in ("occupied", "free", "unknown")
+    occupied_point = None
+    for leaf in warm_session.export_octree().iter_occupied():
+        occupied_point = leaf.center
+        break
+    assert occupied_point is not None
+    assert warm_session.query_engine.is_colliding(*occupied_point)

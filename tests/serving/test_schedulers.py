@@ -1,0 +1,95 @@
+"""Scheduler ordering: FIFO, priority, earliest-deadline-first, stability."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.octomap import PointCloud
+from repro.serving import ScanRequest, make_scheduler
+from repro.serving.schedulers import SCHEDULER_POLICIES
+
+
+def _request(request_id: int, priority: int = 0, deadline_s: float = math.inf) -> ScanRequest:
+    return ScanRequest(
+        session_id="map",
+        cloud=PointCloud([(1.0, 0.0, 0.0)]),
+        origin=(0.0, 0.0, 0.0),
+        priority=priority,
+        deadline_s=deadline_s,
+        request_id=request_id,
+    )
+
+
+def _drain(scheduler):
+    order = []
+    while scheduler:
+        order.append(scheduler.pop().request_id)
+    return order
+
+
+def test_registry_and_unknown_policy():
+    assert set(SCHEDULER_POLICIES) == {"fifo", "priority", "deadline"}
+    with pytest.raises(KeyError, match="unknown scheduler policy"):
+        make_scheduler("round-robin")
+
+
+def test_fifo_preserves_arrival_order():
+    scheduler = make_scheduler("fifo")
+    for request_id in (3, 1, 4, 1_000, 5):
+        scheduler.push(_request(request_id))
+    assert _drain(scheduler) == [3, 1, 4, 1_000, 5]
+
+
+def test_fifo_interleaved_push_pop():
+    scheduler = make_scheduler("fifo")
+    scheduler.push(_request(0))
+    scheduler.push(_request(1))
+    assert scheduler.pop().request_id == 0
+    scheduler.push(_request(2))
+    assert _drain(scheduler) == [1, 2]
+    assert len(scheduler) == 0
+    with pytest.raises(IndexError):
+        scheduler.pop()
+
+
+def test_priority_serves_highest_first_fifo_among_equals():
+    scheduler = make_scheduler("priority")
+    scheduler.push(_request(0, priority=1))
+    scheduler.push(_request(1, priority=5))
+    scheduler.push(_request(2, priority=1))
+    scheduler.push(_request(3, priority=5))
+    assert _drain(scheduler) == [1, 3, 0, 2]
+
+
+def test_deadline_serves_earliest_first_fifo_among_equals():
+    scheduler = make_scheduler("deadline")
+    scheduler.push(_request(0, deadline_s=9.0))
+    scheduler.push(_request(1, deadline_s=1.0))
+    scheduler.push(_request(2))  # no deadline -> served last
+    scheduler.push(_request(3, deadline_s=1.0))
+    assert _drain(scheduler) == [1, 3, 0, 2]
+
+
+def test_uniform_workload_identical_across_policies():
+    requests = [_request(request_id) for request_id in range(7)]
+    orders = []
+    for policy in SCHEDULER_POLICIES:
+        scheduler = make_scheduler(policy)
+        for request in requests:
+            scheduler.push(request)
+        orders.append(_drain(scheduler))
+    assert orders[0] == orders[1] == orders[2] == list(range(7))
+
+
+def test_fifo_compaction_keeps_order():
+    scheduler = make_scheduler("fifo")
+    # Push/pop enough to trigger the lazy compaction path.
+    for request_id in range(200):
+        scheduler.push(_request(request_id))
+    popped = [scheduler.pop().request_id for _ in range(150)]
+    assert popped == list(range(150))
+    for request_id in range(200, 220):
+        scheduler.push(_request(request_id))
+    assert _drain(scheduler) == list(range(150, 220))

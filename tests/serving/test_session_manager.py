@@ -1,0 +1,112 @@
+"""Sessions and the manager: isolation, routing, stats, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import MapSession, MapSessionManager, ScanRequest, SessionConfig
+
+
+def test_sessions_are_isolated(small_scans):
+    manager = MapSessionManager(SessionConfig(num_shards=2, batch_size=4))
+    manager.ingest(ScanRequest.from_scan_node("left", small_scans[0]))
+    # "right" exists but never ingested anything.
+    manager.create_session("right")
+
+    assert manager.query("left", 1.2, 0.3, 0.2).status in ("occupied", "free")
+    assert manager.query("right", 1.2, 0.3, 0.2).status == "unknown"
+    assert manager.service_stats.session("left").voxel_updates > 0
+    assert manager.service_stats.session("right").voxel_updates == 0
+
+
+def test_request_ids_are_globally_unique_and_monotonic(small_scans):
+    manager = MapSessionManager(SessionConfig(num_shards=1, batch_size=8))
+    receipts = [
+        manager.submit(ScanRequest.from_scan_node(session_id, small_scans[0]))
+        for session_id in ("a", "b", "a", "c")
+    ]
+    ids = [receipt.request_id for receipt in receipts]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+    assert manager.pending_requests() == 4
+    manager.flush_all()
+    assert manager.pending_requests() == 0
+
+
+def test_session_lifecycle():
+    manager = MapSessionManager()
+    session = manager.create_session("tenant")
+    assert "tenant" in manager
+    assert manager.session_ids() == ("tenant",)
+    with pytest.raises(ValueError, match="already exists"):
+        manager.create_session("tenant")
+    assert manager.get_or_create_session("tenant") is session
+
+    closed = manager.close_session("tenant")
+    assert closed is session
+    assert "tenant" not in manager
+    with pytest.raises(KeyError, match="unknown session"):
+        manager.get_session("tenant")
+    assert len(manager.service_stats) == 0
+
+
+def test_submit_auto_create_toggle(small_scans):
+    manager = MapSessionManager()
+    with pytest.raises(KeyError):
+        manager.submit(ScanRequest.from_scan_node("ghost", small_scans[0]), auto_create=False)
+    receipt = manager.submit(ScanRequest.from_scan_node("ghost", small_scans[0]))
+    assert receipt.session_id == "ghost"
+    assert "ghost" in manager
+
+
+def test_session_rejects_foreign_requests(small_scans):
+    session = MapSession("mine")
+    with pytest.raises(ValueError, match="submitted to"):
+        session.submit(ScanRequest.from_scan_node("theirs", small_scans[0]))
+
+
+def test_default_max_range_applied(small_scans):
+    config = SessionConfig(num_shards=1, default_max_range=5.0)
+    session = MapSession("map", config)
+    session.submit(ScanRequest.from_scan_node("map", small_scans[0]))
+    # Pop back off the scheduler to observe the effective request.
+    request = session.pipeline.scheduler.pop()
+    assert request.max_range == 5.0
+
+
+def test_stats_render_mentions_every_session(small_scans):
+    manager = MapSessionManager(SessionConfig(num_shards=2, batch_size=2))
+    for session_id in ("alpha", "beta"):
+        manager.ingest(ScanRequest.from_scan_node(session_id, small_scans[0]))
+        manager.query(session_id, 0.5, 0.5, 0.2)
+        manager.query(session_id, 0.5, 0.5, 0.2)
+    rendered = manager.render_stats()
+    assert "alpha" in rendered and "beta" in rendered
+    assert "Serving: ingestion per session" in rendered
+    assert "Serving: queries per session" in rendered
+    assert manager.service_stats.overall_hit_rate() > 0.0
+
+
+def test_shard_load_and_batch_reports(small_requests):
+    session = MapSession("map", SessionConfig(num_shards=4, batch_size=2))
+    for request in small_requests:
+        session.submit(request)
+    reports = session.flush_all()
+    assert len(reports) == 2  # 3 requests, batch size 2 -> 2 batches
+    assert sum(report.scans for report in reports) == len(small_requests)
+    assert sum(session.shard_load()) == sum(report.voxel_updates for report in reports)
+    for report in reports:
+        assert report.duplicates_removed >= 0
+        assert report.modelled_cycles > 0
+        assert len(report.shard_updates) == 4
+
+
+def test_flush_all_round_robin_drains_every_session(small_scans):
+    manager = MapSessionManager(SessionConfig(num_shards=1, batch_size=1))
+    for session_id in ("a", "b"):
+        for scan in small_scans:
+            manager.submit(ScanRequest.from_scan_node(session_id, scan))
+    reports = manager.flush_all()
+    assert manager.pending_requests() == 0
+    sessions_seen = {report.session_id for report in reports}
+    assert sessions_seen == {"a", "b"}

@@ -1,0 +1,77 @@
+"""Shard routing: total, deterministic, spatially coherent partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OMUConfig
+from repro.core.scheduler import VoxelUpdateRequest
+from repro.octomap.keys import OcTreeKey
+from repro.serving import ShardRouter
+
+
+@pytest.fixture
+def config() -> OMUConfig:
+    return OMUConfig(resolution_m=0.2)
+
+
+def test_router_is_total_and_deterministic(config):
+    router = ShardRouter(config, num_shards=3, prefix_levels=12)
+    keys = [OcTreeKey(32768 + dx, 32768 + dy, 32760) for dx in range(-8, 8) for dy in range(-8, 8)]
+    first = [router.shard_for_key(key) for key in keys]
+    second = [router.shard_for_key(key) for key in keys]
+    assert first == second
+    assert all(0 <= shard < 3 for shard in first)
+    assert set(first) == {0, 1, 2}  # a spread of keys reaches every shard
+
+
+def test_single_shard_owns_everything(config):
+    router = ShardRouter(config, num_shards=1)
+    assert router.shard_for_point(3.0, -2.0, 0.4) == 0
+    assert router.shard_for_key(OcTreeKey(0, 0, 0)) == 0
+
+
+def test_point_and_key_routing_agree(config):
+    router = ShardRouter(config, num_shards=4, prefix_levels=12)
+    for point in ((1.0, 2.0, 0.2), (-3.4, 0.8, -1.0), (0.05, -0.05, 0.0)):
+        key = router.converter.coord_to_key(*point)
+        assert router.shard_for_point(*point) == router.shard_for_key(key)
+
+
+def test_partition_preserves_order_and_ownership(config):
+    router = ShardRouter(config, num_shards=3, prefix_levels=12)
+    keys = [OcTreeKey(32768 + index, 32768 - index, 32768 + 2 * index) for index in range(50)]
+    stream = [VoxelUpdateRequest(key, occupied=bool(index % 2)) for index, key in enumerate(keys)]
+    per_shard = router.partition(stream)
+    assert sum(len(shard_stream) for shard_stream in per_shard) == len(stream)
+    for shard_id, shard_stream in enumerate(per_shard):
+        assert all(router.shard_for_key(request.key) == shard_id for request in shard_stream)
+        # Relative order within the shard matches the global stream order.
+        positions = [stream.index(request) for request in shard_stream]
+        assert positions == sorted(positions)
+
+
+def test_too_many_shards_for_prefix_rejected(config):
+    with pytest.raises(ValueError, match="key-prefix subtrees"):
+        ShardRouter(config, num_shards=9, prefix_levels=1)
+    ShardRouter(config, num_shards=9, prefix_levels=2)  # 64 subtrees: fine
+
+
+def test_invalid_parameters_rejected(config):
+    with pytest.raises(ValueError):
+        ShardRouter(config, num_shards=0)
+    with pytest.raises(ValueError):
+        ShardRouter(config, num_shards=1, prefix_levels=0)
+    # Deeper than the tree must fail at construction, not at first routed key.
+    with pytest.raises(ValueError, match="prefix_levels"):
+        ShardRouter(config, num_shards=1, prefix_levels=config.tree_depth + 1)
+
+
+def test_shard_index_matches_address_generator(config):
+    from repro.core.address_gen import AddressGenerator
+
+    router = ShardRouter(config, num_shards=5, prefix_levels=3)
+    generator = AddressGenerator(config.resolution_m, config.tree_depth, config.num_pes)
+    for point in ((0.4, 0.4, 0.4), (-5.0, 3.0, 1.0), (7.7, -7.7, 0.1)):
+        key = router.converter.coord_to_key(*point)
+        assert router.shard_for_key(key) == generator.shard_index(key, 5, 3)
