@@ -1,0 +1,40 @@
+"""Bench: serving-layer execution backends, backend x shard-count wall clock.
+
+Besides the rendered table, this benchmark writes the machine-readable
+``BENCH_serving.json`` into ``benchmarks/results/`` so CI can archive the
+per-PR throughput trajectory of the serving layer.
+
+No relative-performance assertion is made here: whether the process backend
+beats inline depends on the runner's core count (the JSON records it), and a
+single-core container would make such an assert flaky.  The equivalence
+facts -- identical update counts across every backend -- are asserted.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.service import (
+    DEFAULT_BENCH_CLIENTS,
+    backend_scaling_experiment,
+    write_benchmark_json,
+)
+
+# Half the default client scan count: keeps the whole sweep (9 configs) to
+# tens of seconds inside the tier-1 harness.  The CI benchmark job runs the
+# full default workload via `python -m repro.analysis.service` on top.
+BENCH_CLIENTS = tuple(replace(client, num_scans=3) for client in DEFAULT_BENCH_CLIENTS)
+
+
+def test_backend_scaling_sweep(benchmark, save_result, results_dir):
+    result = benchmark.pedantic(
+        lambda: backend_scaling_experiment(BENCH_CLIENTS, shard_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result.experiment_id, result.rendered + "\n\n" + result.notes)
+    write_benchmark_json(result, results_dir / "BENCH_serving.json")
+
+    assert {row[0] for row in result.rows} == {"inline", "thread", "process"}
+    # Same workload -> same dispatched updates on every backend and shard
+    # count (the serving equivalence property, visible in the bench too).
+    assert len({row[3] for row in result.rows}) == 1
+    assert all(row[4] > 0 for row in result.rows)

@@ -8,18 +8,32 @@ collision queries through the generation-stamped query cache.  The script
 ends by printing the per-session service statistics and showing that the
 stitched session maps match direct sequential insertion.
 
-Run with:  python examples/mapping_service_demo.py
+The shard execution backend is selectable: ``--backend process`` runs every
+shard's accelerator in its own worker process (the maps are identical --
+that is the whole point of the backend abstraction).
+
+Run with:  python examples/mapping_service_demo.py [--backend inline|thread|process]
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.core.verification import compare_trees
 from repro.datasets import ClientSpec, generate_interleaved_stream
 from repro.octomap import OccupancyOcTree
-from repro.serving import MapSessionManager, ScanRequest, SessionConfig
+from repro.serving import BACKEND_NAMES, MapSessionManager, ScanRequest, SessionConfig
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="inline",
+        help="shard execution backend (default inline)",
+    )
+    args = parser.parse_args(argv)
     # 1. Two clients, two sessions: LiDAR corridor + depth-camera campus.
     clients = (
         ClientSpec(
@@ -43,10 +57,16 @@ def main() -> None:
     stream = generate_interleaved_stream(clients, seed=42)
     print(f"Interleaved stream: {len(stream)} scans from {len(clients)} clients")
 
-    # 2. One service instance; every session shards over 4 workers and
-    #    coalesces scans into batches of 2 under the priority scheduler.
+    # 2. One service instance; every session shards over 4 workers on the
+    #    chosen execution backend and coalesces scans into batches of 2
+    #    under the priority scheduler.
     manager = MapSessionManager(
-        SessionConfig(num_shards=4, batch_size=2, scheduler_policy="priority")
+        SessionConfig(
+            num_shards=4,
+            batch_size=2,
+            scheduler_policy="priority",
+            backend=args.backend,
+        )
     )
     for event in stream:
         receipt = manager.submit(
@@ -97,9 +117,10 @@ def main() -> None:
         report = compare_trees(reference, session.export_octree(), tolerance)
         print(f"  {session_id}: {report.summary()}")
 
-    # 5. The service dashboard.
+    # 5. The service dashboard, then release the worker pool.
     print()
     print(manager.render_stats())
+    manager.shutdown()
 
 
 if __name__ == "__main__":

@@ -12,11 +12,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="omu-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'OMU: A Probabilistic 3D Occupancy Mapping "
         "Accelerator for Real-time OctoMap at the Edge' (DATE 2022), grown "
-        "into a multi-session occupancy-mapping service layer"
+        "into a multi-session occupancy-mapping service layer with "
+        "pluggable shard execution backends"
     ),
     long_description=(
         "A from-scratch Python reproduction of the OMU occupancy-mapping "
@@ -24,7 +25,8 @@ setup(
         "cycle-approximate accelerator model, calibrated CPU baselines, "
         "energy/area models, the paper's tables and figures, and a "
         "multi-session mapping service layer (`repro.serving`) with sharded "
-        "ingestion and a cached query engine on top."
+        "ingestion over pluggable execution backends (inline, thread pool, "
+        "one process per shard) and a cached query engine on top."
     ),
     long_description_content_type="text/markdown",
     author="paper-repo-growth",
@@ -36,7 +38,9 @@ setup(
         "numpy>=1.21",
     ],
     extras_require={
-        "test": ["pytest", "hypothesis"],
+        # Everything CI's tier-1 + benchmark jobs need beyond install_requires.
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "lint": ["ruff"],
     },
     entry_points={
         "console_scripts": [

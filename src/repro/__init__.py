@@ -47,7 +47,7 @@ Quickstart (multi-session service)::
 from repro.core import OMUAccelerator, OMUConfig
 from repro.octomap import OccupancyOcTree, PointCloud, Pose6D, ScanGraph, ScanNode
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OMUAccelerator",

@@ -22,7 +22,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.metrics import energy_benefit, normalise_breakdown, speedup
 from repro.analysis.tables import render_bar_chart, render_table
-from repro.baselines.cpu_model import A57_COST_MODEL, CpuCostModel, I9_COST_MODEL
+from repro.baselines.cpu_model import A57_COST_MODEL, I9_COST_MODEL
 from repro.baselines.sw_runner import SoftwareRunResult, run_software_octomap
 from repro.core.accelerator import OMUAccelerator
 from repro.core.config import DEFAULT_CONFIG, OMUConfig

@@ -18,7 +18,7 @@ unit (paper Fig. 7) and exposes the operations the evaluation needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.address_gen import AddressGenerator
 from repro.core.config import DEFAULT_CONFIG, OMUConfig
@@ -253,13 +253,16 @@ class OMUAccelerator:
                 log_odds = fmt.to_value(node.probability_raw)
                 key = self._path_to_key(node.path)
                 if len(node.path) == self.config.tree_depth:
-                    tree.set_node_log_odds(key, log_odds)
+                    # Propagation is deferred to one whole-tree pass below;
+                    # per-leaf propagation would make the export quadratic.
+                    tree.set_node_log_odds(key, log_odds, propagate=False)
                 else:
                     # Homogeneous (pruned) region: replay it as the software
                     # tree's pruned representation by writing one child per
                     # octant at the next level down and letting prune() fold
                     # them back; cheaper: write the covering node directly.
                     self._write_coarse_leaf(tree, node.path, log_odds)
+        tree.update_inner_occupancy()
         tree.prune()
         return tree
 
@@ -279,7 +282,9 @@ class OMUAccelerator:
             node = node.child(child_index)
         node.log_odds = tree.params.clamp(log_odds)
         node.delete_children()
-        tree.update_inner_occupancy()
+        # No propagation here: export_octree runs one whole-tree
+        # update_inner_occupancy() after all leaves (fine and coarse) are
+        # written; a per-leaf pass would make pruned-map exports quadratic.
 
     def _path_to_key(self, path) -> "OcTreeKey":
         from repro.octomap.keys import OcTreeKey

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.octomap.logodds import OccupancyParams, log_odds
+from repro.octomap.logodds import OccupancyParams
 
 __all__ = ["FixedPointFormat", "QuantizedOccupancyParams", "DEFAULT_FORMAT"]
 

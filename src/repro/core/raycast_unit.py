@@ -18,7 +18,7 @@ another implementation of the same ``cast_scan`` interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence, Set
 
 from repro.core.address_gen import AddressGenerator
 from repro.core.config import OMUConfig

@@ -19,7 +19,7 @@ be matched to the dataset statistics without changing the angular coverage.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -71,12 +71,16 @@ def graft_leaf(tree: OccupancyOcTree, key: OcTreeKey, depth: int, log_odds: floa
     tree.counters.leaf_updates += 1
 
 
-def merge_tree(target: OccupancyOcTree, source: OccupancyOcTree) -> int:
+def merge_tree(
+    target: OccupancyOcTree, source: OccupancyOcTree, propagate: bool = True
+) -> int:
     """Graft every leaf of ``source`` into ``target``; returns leaves merged.
 
     Both trees must share resolution and depth.  Inner occupancy is
     recomputed and the result pruned once at the end, so merging N shard
     exports costs one propagation pass each rather than one per leaf.
+    :func:`merge_trees` defers even that with ``propagate=False`` and
+    finishes the whole stitch with a single pass.
     """
     if abs(target.resolution - source.resolution) > 1e-12:
         raise ValueError(
@@ -90,8 +94,9 @@ def merge_tree(target: OccupancyOcTree, source: OccupancyOcTree) -> int:
     for leaf in source.iter_leafs():
         graft_leaf(target, leaf.key, leaf.depth, leaf.log_odds)
         merged += 1
-    target.update_inner_occupancy()
-    target.prune()
+    if propagate:
+        target.update_inner_occupancy()
+        target.prune()
     return merged
 
 
@@ -117,6 +122,10 @@ def merge_trees(trees, resolution: float | None = None, tree_depth: int | None =
         params = first.params
     kwargs = {"params": params} if params is not None else {}
     stitched = OccupancyOcTree(resolution, tree_depth=tree_depth, **kwargs)
+    # Shard exports are disjoint, so propagation can wait until every source
+    # is grafted: one inner-occupancy pass + one prune for the whole stitch.
     for source in sources:
-        merge_tree(stitched, source)
+        merge_tree(stitched, source, propagate=False)
+    stitched.update_inner_occupancy()
+    stitched.prune()
     return stitched

@@ -226,11 +226,23 @@ class OccupancyOcTree:
             self._counters.parent_updates += 1
         return leaf
 
-    def set_node_log_odds(self, key: OcTreeKey, log_odds: float) -> OcTreeNode:
+    def set_node_log_odds(
+        self, key: OcTreeKey, log_odds: float, propagate: bool = True
+    ) -> OcTreeNode:
         """Force a leaf to an exact (clamped) log-odds value.
 
         Used by the verification harness to replay accelerator state into a
         software tree; counted as a leaf update.
+
+        Args:
+            key: leaf voxel to write.
+            log_odds: value to store (clamped to the tree's bounds).
+            propagate: when True (the default) inner occupancy is recomputed
+                immediately.  Batch writers (accelerator export, shard
+                stitching) pass False and call
+                :meth:`update_inner_occupancy` once at the end -- the
+                per-call propagation is a whole-tree pass, which turns an
+                N-leaf replay quadratic.
         """
         just_created = False
         if self._root is None:
@@ -258,7 +270,8 @@ class OccupancyOcTree:
             node = node.child(child_index)  # type: ignore[assignment]
         node.log_odds = self._params.clamp(log_odds)
         self._counters.leaf_updates += 1
-        self.update_inner_occupancy()
+        if propagate:
+            self.update_inner_occupancy()
         return node
 
     def update_inner_occupancy(self) -> None:

@@ -6,9 +6,13 @@ into a *service*: many named map sessions, each sharded over a pool of
 ingestion pipeline and a cached query engine.
 
 * :mod:`repro.serving.types` -- request / response dataclasses
-  (:class:`ScanRequest`, :class:`QueryResponse`, ...).
+  (:class:`ScanRequest`, :class:`QueryResponse`, ...) plus the pickle-safe
+  ``Shard*`` messages the execution backends exchange with shard workers.
 * :mod:`repro.serving.sharding` -- octree-key-prefix shard routing and the
   :class:`MapShardWorker` accelerator wrapper.
+* :mod:`repro.serving.backends` -- pluggable shard execution
+  (:class:`InlineBackend`, :class:`ThreadPoolBackend`,
+  :class:`ProcessPoolBackend`).
 * :mod:`repro.serving.schedulers` -- pluggable ingestion ordering (FIFO,
   priority, earliest-deadline-first).
 * :mod:`repro.serving.batching` -- the ingestion pipeline: admission queue,
@@ -26,6 +30,34 @@ ingestion pipeline and a cached query engine.
   front door.
 * :mod:`repro.serving.cli` -- the ``repro-serve`` demo driver.
 
+Execution backends
+------------------
+
+Every session executes its shard work through a pluggable
+:class:`~repro.serving.backends.ShardBackend`, selected by
+``SessionConfig(backend=...)`` (or ``repro-serve --backend ...``):
+
+* ``"inline"`` (default) -- workers run serially in the calling thread.
+  Zero overhead and fully deterministic scheduling: pick it for tests,
+  debugging, single-shard sessions, and latency-sensitive small batches
+  where fan-out overhead would dominate.
+* ``"thread"`` -- shard slices are applied concurrently on a thread pool.
+  The pure-Python accelerator model is GIL-bound, so this buys little
+  wall-clock speedup today; pick it to exercise concurrent fan-out without
+  process isolation, or once the update kernels release the GIL.
+* ``"process"`` -- one OS process per shard, each owning its shard's
+  accelerator; flushes fan update batches out to all shards at once and
+  exports gather in parallel.  Pick it for throughput: sustained multi-scan
+  ingestion on multi-core hosts (it overtakes ``inline`` from ~4 shards on
+  the default workload -- see ``python -m repro.analysis.service``).  Worker
+  start-up and per-batch pickling make it a poor fit for tiny maps or
+  one-scan sessions.
+
+All three produce leaf-for-leaf identical maps (a property-based test pins
+this), and the generation-stamped query cache stays correct across process
+boundaries because every apply acknowledgement carries the worker's write
+generation.
+
 Quickstart::
 
     from repro.serving import MapSessionManager, ScanRequest, SessionConfig
@@ -34,8 +66,18 @@ Quickstart::
     manager.ingest(ScanRequest.from_scan_node("warehouse", scan, max_range=15.0))
     if manager.query("warehouse", 1.0, 0.0, 0.5).occupied:
         ...
+    manager.shutdown()  # releases worker processes for pool backends
 """
 
+from repro.serving.backends import (
+    BACKEND_NAMES,
+    InlineBackend,
+    ProcessPoolBackend,
+    ShardBackend,
+    ShardBackendError,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.serving.batching import IngestionPipeline
 from repro.serving.cache import CacheStats, GenerationLRUCache
 from repro.serving.manager import MapSessionManager
@@ -58,9 +100,15 @@ from repro.serving.types import (
     QueryResponse,
     RaycastResponse,
     ScanRequest,
+    ShardApplyResult,
+    ShardExportResult,
+    ShardQueryRequest,
+    ShardQueryResult,
+    ShardUpdateBatch,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BatchReport",
     "BoxOccupancySummary",
     "CacheStats",
@@ -70,10 +118,12 @@ __all__ = [
     "IngestReceipt",
     "IngestScheduler",
     "IngestionPipeline",
+    "InlineBackend",
     "MapSession",
     "MapSessionManager",
     "MapShardWorker",
     "PriorityScheduler",
+    "ProcessPoolBackend",
     "QueryEngine",
     "QueryResponse",
     "RaycastResponse",
@@ -82,6 +132,15 @@ __all__ = [
     "ServiceStats",
     "SessionConfig",
     "SessionStats",
+    "ShardApplyResult",
+    "ShardBackend",
+    "ShardBackendError",
+    "ShardExportResult",
+    "ShardQueryRequest",
+    "ShardQueryResult",
     "ShardRouter",
+    "ShardUpdateBatch",
+    "ThreadPoolBackend",
+    "make_backend",
     "make_scheduler",
 ]

@@ -1,0 +1,505 @@
+"""Pluggable shard execution backends: inline, thread pool, process pool.
+
+PR 2 sharded each map session over :class:`~repro.serving.sharding.
+MapShardWorker` accelerators, but every worker still executed serially in the
+caller's thread -- sharding bought modelled-hardware parallelism and zero
+wall-clock speedup.  This module makes the execution substrate pluggable:
+
+* :class:`InlineBackend` -- the reference.  Workers live in the calling
+  thread and apply their slices one after another.  Zero overhead, zero
+  parallelism; every other backend must be leaf-for-leaf identical to it.
+* :class:`ThreadPoolBackend` -- workers live in the calling process but each
+  shard's slice is applied on a thread pool.  The GIL serialises the pure-
+  Python accelerator model, so this backend mainly exercises the concurrent
+  fan-out/gather machinery (and would win if the update path grew C/numpy
+  kernels that release the GIL).
+* :class:`ProcessPoolBackend` -- one OS process per shard, each owning its
+  shard's :class:`~repro.core.accelerator.OMUAccelerator`.  The session's
+  flush fans update batches out to all shard processes and gathers their
+  acknowledgements, so ingestion finally scales with cores.
+
+Every backend speaks the same pickle-safe ``Shard*`` message vocabulary from
+:mod:`repro.serving.types` and routes it through the same
+:meth:`MapShardWorker.apply_message` handlers, which is what keeps the three
+execution paths byte-identical (the serving equivalence property is tested
+over all of them).
+
+Cache correctness across process boundaries: the generation-stamped query
+cache needs the *parent* to know each shard's write generation.  Shard state
+only ever changes inside a synchronous ``apply`` round-trip, and every
+:class:`~repro.serving.types.ShardApplyResult` carries the worker's
+generation after the apply; the backend adopts that value as the parent-side
+stamp.  Queries therefore validate against exactly the generation the owning
+worker reported last, no matter which side of a process boundary it lives on.
+
+A worker process that dies (crash, OOM kill, ``terminate()``) surfaces as a
+:class:`ShardBackendError` on the next interaction instead of a hang, and
+:meth:`ShardBackend.close` always reaps every child, so no orphan processes
+outlive the session.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import OMUConfig
+from repro.octomap.octree import OccupancyOcTree
+from repro.serving.sharding import MapShardWorker
+from repro.serving.types import (
+    ShardApplyResult,
+    ShardExportResult,
+    ShardQueryRequest,
+    ShardQueryResult,
+    ShardUpdateBatch,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ShardBackend",
+    "ShardBackendError",
+    "ThreadPoolBackend",
+    "make_backend",
+]
+
+
+class ShardBackendError(RuntimeError):
+    """A shard execution backend failed (worker crash, use after close)."""
+
+
+class ShardBackend(ABC):
+    """Executes shard work for one session; the session's only way to touch shards.
+
+    The write path calls :meth:`apply_shard_batches` once per flushed
+    ingestion batch with one :class:`ShardUpdateBatch` per shard slice; the
+    read path calls :meth:`query_key`; export stitching calls
+    :meth:`export_all`.  Subclasses implement the ``_``-prefixed hooks; the
+    base class owns the parent-side accounting (generations, per-shard update
+    counts, fan-out timing) so every backend reports identically.
+    """
+
+    #: registry name, e.g. ``"process"``; used by config / CLI / stats.
+    name: str = "abstract"
+
+    def __init__(self, config: OMUConfig, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.config = config
+        self.num_shards = num_shards
+        self.closed = False
+        #: set to the failure description once a shard apply failed; the
+        #: backend then refuses further use (fail-stop) because a partially
+        #: applied flush leaves the sharded map inconsistent.
+        self.failed: Optional[str] = None
+        self._generations = [0] * num_shards
+        self._updates_applied = [0] * num_shards
+
+    # ------------------------------------------------------------------
+    # Public API (what sessions call)
+    # ------------------------------------------------------------------
+    def apply_shard_batches(
+        self, batches: Sequence[ShardUpdateBatch]
+    ) -> List[ShardApplyResult]:
+        """Fan one flush's per-shard slices out to the workers and gather.
+
+        Empty slices are filtered out before dispatch; results come back in
+        ``batches`` order.  Parent-side accounting (generation stamps,
+        per-shard counters) is updated from the acknowledgements.
+
+        An apply failure on any shard is fail-stop: some shards may already
+        have mutated their map region while others have not, so the backend
+        marks itself failed and every later interaction raises
+        :class:`ShardBackendError` instead of silently serving a map that no
+        longer matches the sequential reference.
+        """
+        self._ensure_open()
+        # Health check before the empty-slice filter: a flush whose slices
+        # are all empty must still surface a dead worker rather than report
+        # success on a session that has lost a shard.
+        self._health_check()
+        live = [batch for batch in batches if batch.entries]
+        try:
+            results = self._apply(live) if live else []
+        except ShardBackendError as error:
+            self.failed = str(error)
+            raise
+        except Exception as error:
+            self.failed = f"{type(error).__name__}: {error}"
+            raise ShardBackendError(
+                f"shard apply failed on the {self.name} backend: {self.failed}"
+            ) from error
+        for result in results:
+            self._generations[result.shard_id] = result.generation
+            self._updates_applied[result.shard_id] += result.updates_applied
+        return results
+
+    def query_key(self, request: ShardQueryRequest) -> ShardQueryResult:
+        """Serve one voxel-key lookup from the owning shard worker."""
+        self._ensure_open()
+        return self._query(request)
+
+    def export_all(self) -> List[OccupancyOcTree]:
+        """Gather every shard's exported subtree (concurrently where possible)."""
+        self._ensure_open()
+        exports = self._export()
+        return [export.tree for export in sorted(exports, key=lambda e: e.shard_id)]
+
+    def generation_of(self, shard_id: int) -> int:
+        """Parent-side write-generation stamp of one shard (cache validity).
+
+        Guarded like every other interaction: a cache *hit* never does a
+        worker round-trip, so this is the only gate that keeps cached reads
+        from silently outliving a closed or fail-stopped backend.
+        """
+        self._ensure_open()
+        return self._generations[shard_id]
+
+    @property
+    def workers(self) -> List[MapShardWorker]:
+        """In-process shard workers; backends without them raise.
+
+        Raises AttributeError (not :class:`ShardBackendError`) so
+        ``hasattr``/``getattr`` probing keeps its usual semantics -- but with
+        a message that explains where the workers actually live.
+        """
+        raise AttributeError(
+            f"{self.name} backend workers are not in-process; "
+            "use the Shard* message API instead"
+        )
+
+    def shard_load(self) -> Tuple[int, ...]:
+        """Updates applied per shard (parent-side accounting)."""
+        return tuple(self._updates_applied)
+
+    def close(self) -> None:
+        """Release workers (processes, threads).  Idempotent."""
+        if not self.closed:
+            self._close()
+            self.closed = True
+
+    def __enter__(self) -> "ShardBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        """Apply non-empty shard slices; return acknowledgements in order."""
+
+    @abstractmethod
+    def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        """Serve one lookup on the owning worker."""
+
+    @abstractmethod
+    def _export(self) -> List[ShardExportResult]:
+        """Export every shard's subtree and accounting snapshot."""
+
+    def _close(self) -> None:
+        """Release backend resources (default: nothing to release)."""
+
+    def _health_check(self) -> None:
+        """Hook: raise if a worker is known-dead (no-op for in-process workers)."""
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise ShardBackendError(f"{self.name} backend is closed")
+        if self.failed is not None:
+            raise ShardBackendError(
+                f"{self.name} backend failed earlier and is fail-stopped: {self.failed}"
+            )
+
+
+class _LocalWorkersMixin:
+    """Shared plumbing of the backends whose workers live in-process."""
+
+    def _make_workers(self) -> List[MapShardWorker]:
+        return [
+            MapShardWorker(shard_id, self.config) for shard_id in range(self.num_shards)
+        ]
+
+    @property
+    def workers(self) -> List[MapShardWorker]:
+        """The in-process shard workers (tests and tools may inspect them)."""
+        return self._workers
+
+    def generation_of(self, shard_id: int) -> int:
+        """Live worker generation: in-process workers can be read directly,
+        which also keeps out-of-band writes (tests poking a worker) visible
+        to the cache.  Still guarded, so cached reads cannot outlive a
+        closed or fail-stopped backend."""
+        self._ensure_open()
+        return self._workers[shard_id].generation
+
+    def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        return self._workers[request.shard_id].query_message(request)
+
+    def _export(self) -> List[ShardExportResult]:
+        return [worker.export_message() for worker in self._workers]
+
+
+class InlineBackend(_LocalWorkersMixin, ShardBackend):
+    """The reference backend: serial execution in the calling thread."""
+
+    name = "inline"
+
+    def __init__(self, config: OMUConfig, num_shards: int) -> None:
+        super().__init__(config, num_shards)
+        self._workers = self._make_workers()
+
+    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        return [self._workers[batch.shard_id].apply_message(batch) for batch in batches]
+
+
+class ThreadPoolBackend(_LocalWorkersMixin, ShardBackend):
+    """In-process workers fed concurrently from a thread pool.
+
+    Each shard slice of a flush is applied on its own pool thread; slices
+    never share a worker, so no locking is needed.  Queries and exports run
+    on the calling thread (they are read-only between flushes).
+    """
+
+    name = "thread"
+
+    def __init__(self, config: OMUConfig, num_shards: int) -> None:
+        super().__init__(config, num_shards)
+        self._workers = self._make_workers()
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_shards, thread_name_prefix="shard"
+        )
+
+    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        futures = [
+            self._executor.submit(self._workers[batch.shard_id].apply_message, batch)
+            for batch in batches
+        ]
+        return [future.result() for future in futures]
+
+    def _close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Process pool
+# ---------------------------------------------------------------------------
+def _shard_worker_main(connection, shard_id: int, config: OMUConfig) -> None:
+    """Entry point of one shard worker process.
+
+    Owns this shard's accelerator and serves ``(verb, payload)`` commands
+    from the parent until told to stop.  Every reply is ``("ok", payload)``
+    or ``("error", message)``; an unexpected exception is reported rather
+    than killing the process, so a poisoned request cannot silently lose a
+    shard.
+    """
+    worker = MapShardWorker(shard_id, config)
+    while True:
+        try:
+            verb, payload = connection.recv()
+        except (EOFError, OSError):  # parent died: nothing left to serve
+            break
+        if verb == "stop":
+            connection.send(("ok", None))
+            break
+        try:
+            if verb == "apply":
+                reply = worker.apply_message(payload)
+            elif verb == "query":
+                reply = worker.query_message(payload)
+            elif verb == "export":
+                reply = worker.export_message()
+            else:
+                raise ValueError(f"unknown shard command {verb!r}")
+            connection.send(("ok", reply))
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            connection.send(("error", f"{type(error).__name__}: {error}"))
+    connection.close()
+
+
+class ProcessPoolBackend(ShardBackend):
+    """One OS process per shard; the only backend with true CPU parallelism.
+
+    The parent keeps a duplex pipe per shard.  A flush *sends* every shard's
+    slice before *receiving* any acknowledgement, so all shard processes
+    compute concurrently while the parent waits; export gathers the same way.
+    Worker death is detected on the next interaction (a broken pipe plus the
+    child's exit code) and raised as :class:`ShardBackendError`.
+
+    Args:
+        config: accelerator configuration replicated into every worker.
+        num_shards: worker process count.
+        start_method: ``multiprocessing`` start method; defaults to ``fork``
+            where available (fastest startup, works from unguarded scripts
+            and the REPL) and the platform default elsewhere.  Caveat of the
+            default: forking a process with *running* extra threads can
+            deadlock the child on a lock another thread held at fork time --
+            a parent that mixes live worker threads with this backend should
+            pass ``"forkserver"`` or ``"spawn"`` explicitly (both require
+            the importable-``__main__`` discipline of the multiprocessing
+            docs).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        config: OMUConfig,
+        num_shards: int,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(config, num_shards)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._connections = []
+        self.processes = []
+        try:
+            for shard_id in range(num_shards):
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_end, shard_id, config),
+                    name=f"shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()  # the child keeps its own handle
+                self._connections.append(parent_end)
+                self.processes.append(process)
+        except Exception:
+            self._close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Round-trip plumbing
+    # ------------------------------------------------------------------
+    def _send(self, shard_id: int, verb: str, payload) -> None:
+        try:
+            self._connections[shard_id].send((verb, payload))
+        except (BrokenPipeError, OSError) as error:
+            raise self._worker_lost(shard_id, error) from error
+
+    def _recv(self, shard_id: int):
+        try:
+            status, payload = self._connections[shard_id].recv()
+        except (EOFError, OSError) as error:
+            raise self._worker_lost(shard_id, error) from error
+        if status != "ok":
+            raise ShardBackendError(f"shard {shard_id} worker failed: {payload}")
+        return payload
+
+    def _worker_lost(self, shard_id: int, error: Exception) -> ShardBackendError:
+        process = self.processes[shard_id]
+        process.join(timeout=1.0)
+        return ShardBackendError(
+            f"shard {shard_id} worker process died "
+            f"(exit code {process.exitcode}): {error}"
+        )
+
+    def _health_check(self) -> None:
+        """Surface a dead worker *now*, even if the current interaction
+        would not touch it: a session missing a shard is broken for every
+        future query of that shard's region, so no interaction may silently
+        succeed.  ``apply_shard_batches`` runs this hook before the
+        empty-slice filter, so even an all-empty flush reports the loss."""
+        for shard_id, process in enumerate(self.processes):
+            if not process.is_alive():
+                raise ShardBackendError(
+                    f"shard {shard_id} worker process died "
+                    f"(exit code {process.exitcode})"
+                )
+
+    def _gather(self, shard_ids: Sequence[int]) -> List:
+        """Receive one reply per shard, draining *every* pipe even when one
+        shard reports an error -- an unread acknowledgement left behind would
+        desynchronise that shard's request/reply stream for all later
+        round-trips.  The first error is re-raised after the drain."""
+        results: List = []
+        first_error: Optional[ShardBackendError] = None
+        for shard_id in shard_ids:
+            try:
+                results.append(self._recv(shard_id))
+            except ShardBackendError as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        # Send everything first: this is the fan-out that lets all shard
+        # processes chew on their slices at the same time.  (The public
+        # wrapper already ran _health_check.)
+        for batch in batches:
+            self._send(batch.shard_id, "apply", batch)
+        return self._gather([batch.shard_id for batch in batches])
+
+    def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        self._health_check()
+        self._send(request.shard_id, "query", request)
+        return self._recv(request.shard_id)
+
+    def _export(self) -> List[ShardExportResult]:
+        self._health_check()
+        for shard_id in range(self.num_shards):
+            self._send(shard_id, "export", None)
+        return self._gather(list(range(self.num_shards)))
+
+    def _close(self) -> None:
+        for shard_id, connection in enumerate(self._connections):
+            try:
+                connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard_id, process in enumerate(self.processes):
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=2.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+BACKENDS: Dict[str, Type[ShardBackend]] = {
+    InlineBackend.name: InlineBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+#: Names accepted by :class:`~repro.serving.session.SessionConfig` / the CLI.
+BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKENDS))
+
+
+def make_backend(
+    name: str,
+    config: OMUConfig,
+    num_shards: int,
+    start_method: Optional[str] = None,
+) -> ShardBackend:
+    """Instantiate a shard execution backend by registry name."""
+    try:
+        backend_type = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+        ) from None
+    if backend_type is ProcessPoolBackend:
+        return ProcessPoolBackend(config, num_shards, start_method=start_method)
+    return backend_type(config, num_shards)

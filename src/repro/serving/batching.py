@@ -8,8 +8,10 @@ The pipeline sits between request admission and the shard workers:
    ray-casts each scan once in the shared front end and de-duplicates
    overlapping rays within the scan (occupied beats free, each voxel at most
    one update per scan -- the exact OctoMap ``insertPointCloud`` policy);
-3. the surviving updates are concatenated in dispatch order and partitioned
-   into per-shard streams that the workers apply in parallel.
+3. the surviving updates are concatenated in dispatch order, partitioned
+   into per-shard streams, and fanned out to every shard at once through the
+   session's :class:`~repro.serving.backends.ShardBackend` (serially for the
+   inline reference backend, concurrently for the pool backends).
 
 De-duplication is deliberately *per scan*, not per batch: the clamped
 log-odds update saturates, so collapsing two same-voxel updates from
@@ -22,15 +24,16 @@ the same request sequence (the property the serving tests verify).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.scheduler import VoxelUpdateRequest
 from repro.octomap.counters import OperationCounters
 from repro.octomap.scan_insertion import compute_update_keys_for_converter
+from repro.serving.backends import ShardBackend
 from repro.serving.schedulers import IngestScheduler
-from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.sharding import ShardRouter
 from repro.serving.stats import SessionStats
-from repro.serving.types import BatchReport, IngestReceipt, ScanRequest
+from repro.serving.types import BatchReport, IngestReceipt, ScanRequest, ShardUpdateBatch
 
 __all__ = ["IngestionPipeline"]
 
@@ -42,20 +45,21 @@ class IngestionPipeline:
         self,
         session_id: str,
         router: ShardRouter,
-        workers: Sequence[MapShardWorker],
+        backend: ShardBackend,
         scheduler: IngestScheduler,
         stats: SessionStats,
         batch_size: int = 8,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
-        if len(workers) != router.num_shards:
+        if backend.num_shards != router.num_shards:
             raise ValueError(
-                f"router expects {router.num_shards} shards but {len(workers)} workers given"
+                f"router expects {router.num_shards} shards but the backend "
+                f"executes {backend.num_shards}"
             )
         self.session_id = session_id
         self.router = router
-        self.workers = list(workers)
+        self.backend = backend
         self.scheduler = scheduler
         self.stats = stats
         self.batch_size = batch_size
@@ -124,10 +128,14 @@ class IngestionPipeline:
         visits += dda_counters.ray_steps
 
         per_shard = self.router.partition(stream)
-        shard_cycles: List[int] = []
-        for worker, shard_stream in zip(self.workers, per_shard):
-            timing = worker.apply_updates(shard_stream)
-            shard_cycles.append(timing.critical_path_cycles() if shard_stream else 0)
+        batches = [
+            ShardUpdateBatch.from_updates(shard_id, shard_stream)
+            for shard_id, shard_stream in enumerate(per_shard)
+        ]
+        fanout_started = time.perf_counter()
+        results = self.backend.apply_shard_batches(batches)
+        fanout = time.perf_counter() - fanout_started
+        shard_cycles = [result.critical_path_cycles for result in results]
 
         wall = time.perf_counter() - started
         report = BatchReport(
@@ -142,6 +150,8 @@ class IngestionPipeline:
             shard_updates=tuple(len(shard_stream) for shard_stream in per_shard),
             modelled_cycles=max(shard_cycles, default=0),
             wall_seconds=wall,
+            fanout_seconds=fanout,
+            backend=self.backend.name,
         )
         self.batches_flushed += 1
         self.reports.append(report)
@@ -171,3 +181,5 @@ class IngestionPipeline:
         self.stats.batches_dispatched += 1
         self.stats.modelled_ingest_cycles += report.modelled_cycles
         self.stats.ingest_wall_seconds += report.wall_seconds
+        self.stats.fanout_wall_seconds += report.fanout_seconds
+        self.stats.shard_updates = list(self.backend.shard_load())

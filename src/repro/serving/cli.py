@@ -1,10 +1,10 @@
 """``repro-serve``: a command-line demo of the mapping service.
 
 Generates a multi-client scan stream, pushes it through a
-:class:`~repro.serving.manager.MapSessionManager` with the chosen scheduler /
-shard-count / batch-size, fires a few collision queries per session (twice,
-so the second round shows cache hits), and prints the per-session
-:class:`~repro.serving.stats.ServiceStats` tables.
+:class:`~repro.serving.manager.MapSessionManager` with the chosen execution
+backend / scheduler / shard-count / batch-size, fires a few collision queries
+per session (twice, so the second round shows cache hits), and prints the
+per-session :class:`~repro.serving.stats.ServiceStats` tables.
 
 Run ``repro-serve --help`` for the knobs; the defaults finish in a few
 seconds on a laptop.
@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.datasets.streams import ClientSpec, generate_interleaved_stream
+from repro.serving.backends import BACKEND_NAMES
 from repro.serving.manager import MapSessionManager
 from repro.serving.schedulers import SCHEDULER_POLICIES
 from repro.serving.session import SessionConfig
@@ -45,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCHEDULER_POLICIES),
         default="fifo",
         help="ingestion scheduling policy (default fifo)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="inline",
+        help="shard execution backend (default inline; 'process' runs one worker process per shard)",
     )
     parser.add_argument("--shards", type=int, default=2, help="shard workers per session (default 2)")
     parser.add_argument(
@@ -76,6 +83,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = SessionConfig(
             num_shards=args.shards,
             shard_prefix_levels=args.prefix_levels,
+            backend=args.backend,
             scheduler_policy=args.scheduler,
             batch_size=args.batch_size,
         ).with_resolution(args.resolution)
@@ -101,35 +109,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stream = generate_interleaved_stream(clients, seed=args.seed)
     print(
         f"Streaming {len(stream)} scans from {len(clients)} clients "
-        f"({args.scheduler} scheduler, {args.shards} shards, batch {args.batch_size})"
+        f"({args.backend} backend, {args.scheduler} scheduler, {args.shards} shards, "
+        f"batch {args.batch_size})"
     )
 
-    for event in stream:
-        manager.submit(
-            ScanRequest.from_scan_node(
-                event.session_id,
-                event.scan,
-                max_range=event.max_range_m,
-                priority=event.priority,
-                client_id=event.client_id,
+    try:
+        for event in stream:
+            manager.submit(
+                ScanRequest.from_scan_node(
+                    event.session_id,
+                    event.scan,
+                    max_range=event.max_range_m,
+                    priority=event.priority,
+                    client_id=event.client_id,
+                )
             )
-        )
-    reports = manager.flush_all()
-    print(f"Dispatched {len(reports)} batches, {manager.service_stats.total_voxel_updates()} voxel updates")
+        reports = manager.flush_all()
+        print(f"Dispatched {len(reports)} batches, {manager.service_stats.total_voxel_updates()} voxel updates")
 
-    for _ in range(max(0, args.queries)):
+        for _ in range(max(0, args.queries)):
+            for session_id in manager.session_ids():
+                for point in QUERY_POINTS:
+                    manager.query(session_id, *point)
         for session_id in manager.session_ids():
-            for point in QUERY_POINTS:
-                manager.query(session_id, *point)
-    for session_id in manager.session_ids():
-        response = manager.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
-        hit = f"hit at {response.hit_point}" if response.hit else "no hit"
-        print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
+            response = manager.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
+            hit = f"hit at {response.hit_point}" if response.hit else "no hit"
+            print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
 
-    print()
-    print(manager.render_stats())
-    hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
-    print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
+        print()
+        print(manager.render_stats())
+        hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
+        print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
+    finally:
+        # Pool backends hold worker processes/threads; always release them.
+        manager.shutdown()
     return 0
 
 

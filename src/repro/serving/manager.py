@@ -62,13 +62,31 @@ class MapSessionManager:
     def close_session(self, session_id: str) -> MapSession:
         """Remove a session from the service and return it to the caller.
 
-        The session object stays usable (e.g. for a final export); it is just
-        no longer served or aggregated.
+        The session object stays usable (e.g. for a final export) -- its
+        execution backend is *not* released; call
+        :meth:`MapSession.close` when done with it.  It is just no longer
+        served or aggregated.
         """
         session = self.get_session(session_id)
         del self._sessions[session_id]
         self.service_stats.forget(session_id)
         return session
+
+    def shutdown(self) -> None:
+        """Release every live session's execution backend (worker processes).
+
+        Sessions stay registered and queryable-in-principle is *not*
+        guaranteed afterwards; this is the service's end-of-life hook (and
+        what the context-manager exit calls).  Idempotent.
+        """
+        for session in self._sessions.values():
+            session.close()
+
+    def __enter__(self) -> "MapSessionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     def session_ids(self) -> Tuple[str, ...]:
         """Names of every live session, sorted."""

@@ -1,10 +1,12 @@
 """Query engine: cached point / batch / box / raycast queries over shards.
 
 The engine is the read side of a map session.  Every query is resolved at
-voxel-key granularity: the key picks the owning shard, the shard's live write
-generation validates the cache entry, and only on a miss does the query reach
-the shard worker's accelerator.  Box sweeps and collision raycasts decompose
-into point lookups, so they share the cache and its invalidation rules.
+voxel-key granularity: the key picks the owning shard, the shard's write
+generation (tracked by the execution backend, which stays correct even when
+the worker lives in another process) validates the cache entry, and only on a
+miss does the query reach the shard worker's accelerator through the
+backend.  Box sweeps and collision raycasts decompose into point lookups, so
+they share the cache and its invalidation rules.
 """
 
 from __future__ import annotations
@@ -15,10 +17,16 @@ from typing import List, Sequence, Tuple
 from repro.octomap.keys import OcTreeKey
 from repro.octomap.raycast import compute_ray_keys
 from repro.octomap.scan_insertion import clip_segment_to_volume
+from repro.serving.backends import ShardBackend
 from repro.serving.cache import GenerationLRUCache
-from repro.serving.sharding import MapShardWorker, ShardRouter
+from repro.serving.sharding import ShardRouter
 from repro.serving.stats import SessionStats
-from repro.serving.types import BoxOccupancySummary, QueryResponse, RaycastResponse
+from repro.serving.types import (
+    BoxOccupancySummary,
+    QueryResponse,
+    RaycastResponse,
+    ShardQueryRequest,
+)
 
 __all__ = ["QueryEngine"]
 
@@ -29,17 +37,18 @@ class QueryEngine:
     def __init__(
         self,
         router: ShardRouter,
-        workers: Sequence[MapShardWorker],
+        backend: ShardBackend,
         cache: GenerationLRUCache,
         stats: SessionStats,
         max_box_voxels: int = 200_000,
     ) -> None:
-        if len(workers) != router.num_shards:
+        if backend.num_shards != router.num_shards:
             raise ValueError(
-                f"router expects {router.num_shards} shards but {len(workers)} workers given"
+                f"router expects {router.num_shards} shards but the backend "
+                f"executes {backend.num_shards}"
             )
         self.router = router
-        self.workers = list(workers)
+        self.backend = backend
         self.cache = cache
         self.stats = stats
         self.max_box_voxels = max_box_voxels
@@ -49,7 +58,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def generation_of(self, shard_id: int) -> int:
         """Current write generation of one shard (cache validity stamp)."""
-        return self.workers[shard_id].generation
+        return self.backend.generation_of(shard_id)
 
     # ------------------------------------------------------------------
     # Point queries
@@ -75,11 +84,12 @@ class QueryEngine:
             return QueryResponse(
                 status=status, probability=probability, shard_id=shard_id, cached=True, cycles=0
             )
-        worker = self.workers[shard_id]
-        result = worker.query_key(key)
+        result = self.backend.query_key(
+            ShardQueryRequest(shard_id=shard_id, key=cache_key)
+        )
         self.stats.modelled_query_cycles += result.cycles
         self.cache.put(
-            cache_key, shard_id, worker.generation, (result.status, result.probability)
+            cache_key, shard_id, result.generation, (result.status, result.probability)
         )
         return QueryResponse(
             status=result.status,

@@ -1,11 +1,14 @@
-"""Map sessions: one tenant's map, sharded over a worker pool.
+"""Map sessions: one tenant's map, sharded over an execution backend.
 
-A :class:`MapSession` is the unit of multi-tenancy: it owns a pool of
-:class:`~repro.serving.sharding.MapShardWorker` accelerators partitioned by
-octree-key prefix, an ingestion pipeline feeding them, a cached query engine
-reading them, and a stats block recording everything.  Sessions are fully
-isolated -- nothing but the Python process is shared between two sessions of
-one :class:`~repro.serving.manager.MapSessionManager`.
+A :class:`MapSession` is the unit of multi-tenancy: it owns a pool of shard
+workers behind a pluggable :class:`~repro.serving.backends.ShardBackend`
+(inline, thread pool, or one process per shard), partitioned by octree-key
+prefix, an ingestion pipeline feeding them, a cached query engine reading
+them, and a stats block recording everything.  Sessions are fully isolated --
+nothing but the Python process is shared between two sessions of one
+:class:`~repro.serving.manager.MapSessionManager` (and with the process
+backend, not even that: each shard's accelerator lives in its own worker
+process).
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.config import DEFAULT_CONFIG, OMUConfig
 from repro.octomap.merge import merge_trees
 from repro.octomap.octree import OccupancyOcTree
+from repro.serving.backends import BACKEND_NAMES, ShardBackend, make_backend
 from repro.serving.batching import IngestionPipeline
 from repro.serving.cache import GenerationLRUCache
 from repro.serving.query_engine import QueryEngine
@@ -41,6 +45,12 @@ class SessionConfig:
             every axis are anti-correlated there (positive coordinates start
             ``10...``, negative ``01...``), so octant-level sharding cannot
             split any one octant's work and buys almost no parallelism.
+        backend: shard execution backend -- ``"inline"`` (serial reference),
+            ``"thread"`` (concurrent fan-out, GIL-bound) or ``"process"``
+            (one worker process per shard, true CPU parallelism).  See
+            :mod:`repro.serving.backends` for when to pick each.
+        mp_start_method: ``multiprocessing`` start method for the process
+            backend (``None`` picks ``fork`` where available).
         scheduler_policy: ``"fifo"``, ``"priority"`` or ``"deadline"``.
         batch_size: scans coalesced per ingestion batch.
         cache_capacity: entries of the query LRU cache.
@@ -52,6 +62,8 @@ class SessionConfig:
 
     num_shards: int = 2
     shard_prefix_levels: int = 12
+    backend: str = "inline"
+    mp_start_method: Optional[str] = None
     scheduler_policy: str = "fifo"
     batch_size: int = 8
     cache_capacity: int = 4096
@@ -65,10 +77,18 @@ class SessionConfig:
             raise ValueError("batch_size must be at least 1")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be at least 1")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {', '.join(BACKEND_NAMES)}"
+            )
 
     def with_resolution(self, resolution_m: float) -> "SessionConfig":
         """Copy with a different map resolution on every shard."""
         return replace(self, accelerator=self.accelerator.with_resolution(resolution_m))
+
+    def with_backend(self, backend: str) -> "SessionConfig":
+        """Copy served by a different shard execution backend."""
+        return replace(self, backend=backend)
 
 
 class MapSession:
@@ -79,27 +99,60 @@ class MapSession:
             raise ValueError("session_id must be a non-empty string")
         self.session_id = session_id
         self.config = config if config is not None else SessionConfig()
-        self.stats = SessionStats(session_id=session_id)
+        self.stats = SessionStats(
+            session_id=session_id,
+            backend_name=self.config.backend,
+            num_shards=self.config.num_shards,
+        )
         self.router = ShardRouter(
             self.config.accelerator,
             self.config.num_shards,
             prefix_levels=self.config.shard_prefix_levels,
         )
-        self.workers: List[MapShardWorker] = [
-            MapShardWorker(shard_id, self.config.accelerator)
-            for shard_id in range(self.config.num_shards)
-        ]
+        self.backend: ShardBackend = make_backend(
+            self.config.backend,
+            self.config.accelerator,
+            self.config.num_shards,
+            start_method=self.config.mp_start_method,
+        )
         self.pipeline = IngestionPipeline(
             session_id,
             self.router,
-            self.workers,
+            self.backend,
             make_scheduler(self.config.scheduler_policy),
             self.stats,
             batch_size=self.config.batch_size,
         )
         self.cache = GenerationLRUCache(self.config.cache_capacity)
-        self.query_engine = QueryEngine(self.router, self.workers, self.cache, self.stats)
+        self.query_engine = QueryEngine(self.router, self.backend, self.cache, self.stats)
         self.stats.cache = self.cache.stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the execution backend (worker processes/threads).  Idempotent."""
+        self.backend.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once the session's backend has been released."""
+        return self.backend.closed
+
+    def __enter__(self) -> "MapSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def workers(self) -> List[MapShardWorker]:
+        """The in-process shard workers (inline / thread backends only).
+
+        The process backend keeps its workers in child processes; inspect
+        those through the backend's message API instead.
+        """
+        return self.backend.workers
 
     # ------------------------------------------------------------------
     # Write path
@@ -156,10 +209,16 @@ class MapSession:
     # Export
     # ------------------------------------------------------------------
     def export_octree(self) -> OccupancyOcTree:
-        """Stitch every shard's exported subtree into one software octree."""
+        """Stitch every shard's exported subtree into one software octree.
+
+        Shard exports are gathered through the backend -- concurrently for
+        the process backend, where every worker serialises its subtree in
+        parallel -- and stitched with one shared propagate/prune pass by
+        :func:`repro.octomap.merge.merge_trees`.
+        """
         accelerator = self.config.accelerator
         return merge_trees(
-            (worker.export_octree() for worker in self.workers),
+            self.backend.export_all(),
             resolution=accelerator.resolution_m,
             tree_depth=accelerator.tree_depth,
             params=accelerator.quantized_params().as_float_params(),
@@ -167,4 +226,4 @@ class MapSession:
 
     def shard_load(self) -> Tuple[int, ...]:
         """Updates applied per shard (load-balance view)."""
-        return tuple(worker.updates_applied for worker in self.workers)
+        return self.backend.shard_load()

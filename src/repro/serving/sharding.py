@@ -24,7 +24,7 @@ region, which is what makes the export stitch conflict-free.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.core.accelerator import OMUAccelerator
 from repro.core.address_gen import AddressGenerator
@@ -34,6 +34,13 @@ from repro.core.scheduler import VoxelUpdateRequest
 from repro.core.timing import ScanTiming
 from repro.octomap.keys import KeyConverter, OcTreeKey
 from repro.octomap.octree import OccupancyOcTree
+from repro.serving.types import (
+    ShardApplyResult,
+    ShardExportResult,
+    ShardQueryRequest,
+    ShardQueryResult,
+    ShardUpdateBatch,
+)
 
 __all__ = ["ShardRouter", "MapShardWorker"]
 
@@ -130,3 +137,49 @@ class MapShardWorker:
     def busy_cycles(self) -> int:
         """Total modelled busy cycles of this shard's accelerator."""
         return self.accelerator.map_critical_path_cycles()
+
+    # ------------------------------------------------------------------
+    # Message-level API (shared by every execution backend)
+    # ------------------------------------------------------------------
+    # The pool backends in :mod:`repro.serving.backends` talk to workers only
+    # through the pickle-safe ``Shard*`` messages of
+    # :mod:`repro.serving.types`; routing them through these handlers keeps
+    # the inline, thread and process execution paths byte-identical.
+
+    def apply_message(self, batch: ShardUpdateBatch) -> ShardApplyResult:
+        """Apply one wire-format update batch and acknowledge it."""
+        if batch.shard_id != self.shard_id:
+            raise ValueError(
+                f"batch for shard {batch.shard_id} delivered to shard {self.shard_id}"
+            )
+        updates = batch.to_updates()
+        timing = self.apply_updates(updates)
+        return ShardApplyResult(
+            shard_id=self.shard_id,
+            updates_applied=len(updates),
+            critical_path_cycles=timing.critical_path_cycles() if updates else 0,
+            generation=self.generation,
+        )
+
+    def query_message(self, request: ShardQueryRequest) -> ShardQueryResult:
+        """Answer one wire-format voxel-key lookup."""
+        if request.shard_id != self.shard_id:
+            raise ValueError(
+                f"query for shard {request.shard_id} delivered to shard {self.shard_id}"
+            )
+        result = self.query_key(OcTreeKey(*request.key))
+        return ShardQueryResult(
+            shard_id=self.shard_id,
+            status=result.status,
+            probability=result.probability,
+            cycles=result.cycles,
+            generation=self.generation,
+        )
+
+    def export_message(self) -> ShardExportResult:
+        """Export this shard's subtree, stamped with its write generation."""
+        return ShardExportResult(
+            shard_id=self.shard_id,
+            tree=self.export_octree(),
+            generation=self.generation,
+        )

@@ -29,6 +29,8 @@ class SessionStats:
     """
 
     session_id: str = ""
+    backend_name: str = "inline"
+    num_shards: int = 0
     # --- ingestion ---
     scans_ingested: int = 0
     points_ingested: int = 0
@@ -39,6 +41,8 @@ class SessionStats:
     batches_dispatched: int = 0
     modelled_ingest_cycles: int = 0
     ingest_wall_seconds: float = 0.0
+    fanout_wall_seconds: float = 0.0
+    shard_updates: List[int] = field(default_factory=list)
     queue_high_water: int = 0
     # --- queries ---
     point_queries: int = 0
@@ -73,6 +77,36 @@ class SessionStats:
             return 0.0
         return self.voxel_updates / seconds
 
+    @property
+    def fanout_fraction(self) -> float:
+        """Share of ingest wall time spent inside the execution backend."""
+        if self.ingest_wall_seconds <= 0.0:
+            return 0.0
+        return self.fanout_wall_seconds / self.ingest_wall_seconds
+
+    @property
+    def shard_utilization(self) -> float:
+        """Worker utilization: mean shard load over the busiest shard's load.
+
+        1.0 means perfectly balanced shards (every worker as busy as the
+        critical one); ``1/num_shards`` means one shard did all the work.
+        0.0 when nothing was ingested yet.
+        """
+        if not self.shard_updates:
+            return 0.0
+        busiest = max(self.shard_updates)
+        if busiest == 0:
+            return 0.0
+        mean = sum(self.shard_updates) / len(self.shard_updates)
+        return mean / busiest
+
+    @property
+    def wall_updates_per_second(self) -> float:
+        """Host-side sustained voxel-update throughput (wall clock)."""
+        if self.ingest_wall_seconds <= 0.0:
+            return 0.0
+        return self.voxel_updates / self.ingest_wall_seconds
+
 
 class ServiceStats:
     """Aggregated view over every session's counter block."""
@@ -96,6 +130,15 @@ class ServiceStats:
         "Cache misses",
         "Hit rate (%)",
         "Stale drops",
+    )
+    BACKEND_HEADERS: Tuple[str, ...] = (
+        "Session",
+        "Backend",
+        "Shards",
+        "Fan-out (s)",
+        "Fan-out (% wall)",
+        "Utilization (%)",
+        "Updates/s (wall)",
     )
 
     def __init__(self) -> None:
@@ -174,12 +217,32 @@ class ServiceStats:
             for stats in sorted(self, key=lambda s: s.session_id)
         ]
 
+    def backend_rows(self) -> List[Tuple[object, ...]]:
+        """Table rows of the execution-backend counters."""
+        return [
+            (
+                stats.session_id,
+                stats.backend_name,
+                stats.num_shards,
+                stats.fanout_wall_seconds,
+                100.0 * stats.fanout_fraction,
+                100.0 * stats.shard_utilization,
+                stats.wall_updates_per_second,
+            )
+            for stats in sorted(self, key=lambda s: s.session_id)
+        ]
+
     def render(self) -> str:
-        """Both counter tables as one printable block."""
+        """All counter tables as one printable block."""
         ingest = render_table(
             "Serving: ingestion per session", self.INGEST_HEADERS, self.ingest_rows()
         )
         query = render_table(
             "Serving: queries per session", self.QUERY_HEADERS, self.query_rows()
         )
-        return ingest + "\n\n" + query
+        backend = render_table(
+            "Serving: execution backend per session",
+            self.BACKEND_HEADERS,
+            self.backend_rows(),
+        )
+        return ingest + "\n\n" + query + "\n\n" + backend

@@ -4,14 +4,25 @@ Everything a client exchanges with :class:`~repro.serving.manager.
 MapSessionManager` is a small immutable dataclass defined here, so the
 session, pipeline, query-engine and stats layers share one vocabulary and the
 wire format of a future RPC front end is already pinned down.
+
+The ``Shard*`` messages at the bottom are the *internal* wire format between
+a session and its shard execution backend
+(:mod:`repro.serving.backends`).  They are deliberately flat -- ints, floats,
+strings and tuples of them -- so every message pickles cheaply across a
+process boundary; voxel updates travel as packed ``(x, y, z, occupied)``
+tuples and are rebuilt into :class:`~repro.core.scheduler.VoxelUpdateRequest`
+objects on the worker side, keeping object construction inside the parallel
+section.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
+from repro.core.scheduler import VoxelUpdateRequest
+from repro.octomap.keys import OcTreeKey
 from repro.octomap.pointcloud import PointCloud, ScanNode
 
 __all__ = [
@@ -21,6 +32,11 @@ __all__ = [
     "QueryResponse",
     "BoxOccupancySummary",
     "RaycastResponse",
+    "ShardUpdateBatch",
+    "ShardApplyResult",
+    "ShardQueryRequest",
+    "ShardQueryResult",
+    "ShardExportResult",
 ]
 
 
@@ -105,6 +121,10 @@ class BatchReport:
         modelled_cycles: critical-path cycles of the batch (slowest shard;
             the shard workers run in parallel).
         wall_seconds: host-side wall-clock time spent processing the batch.
+        fanout_seconds: portion of ``wall_seconds`` spent inside the shard
+            execution backend (dispatch + apply + gather); the rest is the
+            shared ray-casting front end.
+        backend: name of the shard execution backend that applied the batch.
     """
 
     session_id: str
@@ -118,6 +138,8 @@ class BatchReport:
     shard_updates: Tuple[int, ...]
     modelled_cycles: int
     wall_seconds: float
+    fanout_seconds: float = 0.0
+    backend: str = "inline"
 
 
 @dataclass(frozen=True)
@@ -177,3 +199,95 @@ class RaycastResponse:
     distance: float
     voxels_traversed: int
     cache_hits: int
+
+
+# ---------------------------------------------------------------------------
+# Shard backend wire messages (session <-> shard execution backend)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardUpdateBatch:
+    """One shard's slice of a flushed ingestion batch.
+
+    Attributes:
+        shard_id: shard the slice is addressed to.
+        entries: packed updates ``(key_x, key_y, key_z, occupied)`` in
+            dispatch order.  The packed form pickles an order of magnitude
+            cheaper than the :class:`~repro.core.scheduler.VoxelUpdateRequest`
+            objects it encodes, and rebuilding those objects happens on the
+            worker -- inside the parallel section for pool backends.
+    """
+
+    shard_id: int
+    entries: Tuple[Tuple[int, int, int, bool], ...]
+
+    @classmethod
+    def from_updates(
+        cls, shard_id: int, updates: Sequence[VoxelUpdateRequest]
+    ) -> "ShardUpdateBatch":
+        """Pack an ordered update stream for the wire."""
+        return cls(
+            shard_id=shard_id,
+            entries=tuple(
+                (update.key.x, update.key.y, update.key.z, update.occupied)
+                for update in updates
+            ),
+        )
+
+    def to_updates(self) -> Tuple[VoxelUpdateRequest, ...]:
+        """Rebuild the ordered update stream on the worker side."""
+        return tuple(
+            VoxelUpdateRequest(OcTreeKey(x, y, z), occupied)
+            for x, y, z, occupied in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class ShardApplyResult:
+    """A shard worker's acknowledgement of one applied update batch.
+
+    Attributes:
+        shard_id: shard that applied the batch.
+        updates_applied: updates in the batch (echoed back for accounting).
+        critical_path_cycles: modelled cycles of this batch on this shard's
+            accelerator (0 for an empty batch).
+        generation: the shard's write generation *after* the apply; the
+            parent-side cache bookkeeping adopts this value, which keeps
+            generation-stamped invalidation correct across process
+            boundaries.
+    """
+
+    shard_id: int
+    updates_applied: int
+    critical_path_cycles: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class ShardQueryRequest:
+    """One voxel-key occupancy lookup addressed to a shard."""
+
+    shard_id: int
+    key: Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ShardQueryResult:
+    """A shard worker's answer to one voxel-key lookup."""
+
+    shard_id: int
+    status: str
+    probability: Optional[float]
+    cycles: int
+    generation: int
+
+
+@dataclass(frozen=True)
+class ShardExportResult:
+    """A shard worker's exported subtree, stamped with its write generation."""
+
+    shard_id: int
+    tree: object  # OccupancyOcTree; typed loosely to keep this module light
+    generation: int

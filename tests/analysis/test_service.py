@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.analysis import run_service_workload, service_scaling_experiment
+from repro.analysis.service import backend_scaling_experiment, main, write_benchmark_json
 from repro.datasets.streams import ClientSpec
 
 TINY_CLIENTS = (
@@ -38,3 +41,49 @@ def test_service_scaling_experiment_table_shape():
         by_policy.setdefault(row[0], {})[row[1]] = row[6]
     for policy, latencies in by_policy.items():
         assert latencies[2] <= latencies[1] * 1.001, (policy, latencies)
+
+
+def test_backend_scaling_experiment_covers_backend_x_shards():
+    result = backend_scaling_experiment(
+        TINY_CLIENTS,
+        backends=("inline", "thread", "process"),
+        shard_counts=(1, 2),
+    )
+    assert result.experiment_id == "backend_scaling"
+    assert len(result.rows) == 6
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    assert {row[0] for row in result.rows} == {"inline", "thread", "process"}
+    # Every backend dispatched the same updates (the equivalence guarantee).
+    assert len({row[3] for row in result.rows}) == 1
+    # Wall-clock columns are populated and positive.
+    assert all(row[4] > 0 and row[6] > 0 for row in result.rows)
+    # Inline rows are their own baseline.
+    assert all(row[7] == 1.0 for row in result.rows if row[0] == "inline")
+
+
+def test_write_benchmark_json_round_trips(tmp_path):
+    result = backend_scaling_experiment(TINY_CLIENTS, backends=("inline",), shard_counts=(1,))
+    path = write_benchmark_json(result, tmp_path / "BENCH_serving.json")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["experiment_id"] == "backend_scaling"
+    assert payload["headers"] == list(result.headers)
+    assert payload["rows"] == [list(row) for row in result.rows]
+    assert payload["environment"]["cpu_count"] >= 1
+
+
+def test_service_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_serving.json"
+    exit_code = main(
+        [
+            "--out", str(out),
+            "--backends", "inline",
+            "--shards", "1",
+            "--scans", "1",
+            "--skip-scheduler-sweep",
+        ]
+    )
+    assert exit_code == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "execution backend x shard-count" in captured
+    assert str(out) in captured

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import OMUConfig
 from repro.core.pe import ProcessingElement
-from repro.core.treemem import ChildStatus, MemoryCapacityError, NULL_POINTER
+from repro.core.treemem import MemoryCapacityError
 from repro.octomap.keys import KeyConverter, OcTreeKey
 from repro.octomap.counters import OperationKind
 

@@ -1,6 +1,5 @@
 """Unit tests for the voxel query unit."""
 
-import pytest
 
 
 class TestQuery:

@@ -1,6 +1,5 @@
 """Unit tests for the operation counters."""
 
-import pytest
 
 from repro.octomap.counters import OperationCounters, OperationKind
 

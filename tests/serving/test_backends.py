@@ -1,0 +1,283 @@
+"""Execution backends: equivalence plumbing, lifecycle, crash surfacing.
+
+The leaf-for-leaf map equivalence across backends is property-tested in
+``test_equivalence_property.py``; this module covers everything around it:
+the message protocol, parent-side accounting, cache generations across the
+process boundary, clean shutdown, and how a dying worker process surfaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.serving import (
+    BACKEND_NAMES,
+    InlineBackend,
+    MapSession,
+    ProcessPoolBackend,
+    SessionConfig,
+    ShardBackendError,
+    ShardQueryRequest,
+    ShardUpdateBatch,
+    ThreadPoolBackend,
+    make_backend,
+)
+
+CONFIG = DEFAULT_CONFIG.with_resolution(0.25)
+
+ALL_BACKENDS = ["inline", "thread", "process"]
+
+
+def _updates_for(backend, n=16):
+    """A small per-shard update batch addressed to every shard."""
+    from repro.core.address_gen import AddressGenerator
+
+    generator = AddressGenerator(CONFIG.resolution_m, CONFIG.tree_depth, CONFIG.num_pes)
+    converter = generator.converter
+    batches = {shard: [] for shard in range(backend.num_shards)}
+    index = 0
+    while min(len(entries) for entries in batches.values()) < n and index < 100000:
+        x = -6.0 + 0.05 * index
+        key = converter.coord_to_key(x, 0.3, 0.2)
+        shard = generator.shard_index(key, backend.num_shards, 12)
+        batches[shard].append((key.x, key.y, key.z, True))
+        index += 1
+    return [
+        ShardUpdateBatch(shard_id=shard, entries=tuple(entries))
+        for shard, entries in batches.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Registry / construction
+# ---------------------------------------------------------------------------
+def test_backend_registry_names():
+    assert BACKEND_NAMES == ("inline", "process", "thread")
+    assert isinstance(make_backend("inline", CONFIG, 2), InlineBackend)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown shard backend"):
+        make_backend("rpc", CONFIG, 2)
+    with pytest.raises(ValueError, match="unknown backend"):
+        SessionConfig(backend="rpc")
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_backend_round_trip_apply_query_export(name):
+    with make_backend(name, CONFIG, num_shards=2) as backend:
+        batches = _updates_for(backend, n=8)
+        results = backend.apply_shard_batches(batches)
+        assert sorted(result.shard_id for result in results) == [0, 1]
+        for result in results:
+            assert result.updates_applied > 0
+            assert result.critical_path_cycles > 0
+            assert result.generation == 1
+            assert backend.generation_of(result.shard_id) == 1
+        # A written voxel answers occupied through the same backend.
+        x, y, z, _ = batches[0].entries[0]
+        answer = backend.query_key(ShardQueryRequest(shard_id=0, key=(x, y, z)))
+        assert answer.status == "occupied"
+        assert answer.generation == 1
+        trees = backend.export_all()
+        assert len(trees) == 2
+        assert sum(sum(1 for _ in tree.iter_leafs()) for tree in trees) > 0
+        assert backend.shard_load() == tuple(len(batch) for batch in batches)
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_empty_batches_do_not_bump_generations(name):
+    with make_backend(name, CONFIG, num_shards=2) as backend:
+        results = backend.apply_shard_batches(
+            [ShardUpdateBatch(shard_id=0, entries=()), ShardUpdateBatch(shard_id=1, entries=())]
+        )
+        assert results == []
+        assert backend.generation_of(0) == 0
+        assert backend.generation_of(1) == 0
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_close_is_idempotent_and_use_after_close_raises(name):
+    backend = make_backend(name, CONFIG, num_shards=2)
+    backend.close()
+    backend.close()  # idempotent
+    assert backend.closed
+    with pytest.raises(ShardBackendError, match="closed"):
+        backend.apply_shard_batches(_updates_for_closed())
+    with pytest.raises(ShardBackendError, match="closed"):
+        backend.query_key(ShardQueryRequest(shard_id=0, key=(1, 1, 1)))
+
+
+def _updates_for_closed():
+    return [ShardUpdateBatch(shard_id=0, entries=((1, 1, 1, True),))]
+
+
+def test_process_backend_shutdown_leaves_no_orphans():
+    backend = ProcessPoolBackend(CONFIG, num_shards=3)
+    processes = list(backend.processes)
+    assert all(process.is_alive() for process in processes)
+    backend.close()
+    assert all(not process.is_alive() for process in processes)
+    assert all(process.exitcode == 0 for process in processes)
+
+
+def test_session_context_manager_closes_backend():
+    config = SessionConfig(num_shards=2, backend="process").with_resolution(0.25)
+    with MapSession("map", config) as session:
+        assert not session.closed
+        processes = list(session.backend.processes)
+    assert session.closed
+    assert all(not process.is_alive() for process in processes)
+
+
+def test_manager_shutdown_closes_every_session():
+    from repro.serving import MapSessionManager
+
+    config = SessionConfig(num_shards=2, backend="thread").with_resolution(0.25)
+    with MapSessionManager(default_config=config) as manager:
+        a = manager.get_or_create_session("a")
+        b = manager.get_or_create_session("b")
+    assert a.closed and b.closed
+
+
+# ---------------------------------------------------------------------------
+# Worker crash surfacing
+# ---------------------------------------------------------------------------
+def test_dead_worker_process_surfaces_as_backend_error():
+    backend = ProcessPoolBackend(CONFIG, num_shards=2)
+    try:
+        backend.processes[1].terminate()
+        backend.processes[1].join(timeout=5.0)
+        with pytest.raises(ShardBackendError, match="shard 1 worker process died"):
+            # Killed worker: the round-trip must error out, not hang.
+            backend.apply_shard_batches(
+                [ShardUpdateBatch(shard_id=1, entries=((5, 5, 5, True),))]
+            )
+    finally:
+        backend.close()
+    assert all(not process.is_alive() for process in backend.processes)
+
+
+def test_dead_worker_surfaces_even_when_batch_does_not_touch_it():
+    """A session missing a shard is broken for that shard's whole region, so
+    a flush must error out even if its update slices all land elsewhere."""
+    backend = ProcessPoolBackend(CONFIG, num_shards=2)
+    try:
+        backend.processes[0].terminate()
+        backend.processes[0].join(timeout=5.0)
+        with pytest.raises(ShardBackendError, match="shard 0 worker process died"):
+            backend.apply_shard_batches(
+                [ShardUpdateBatch(shard_id=1, entries=((5, 5, 5, True),))]
+            )
+        with pytest.raises(ShardBackendError, match="shard 0 worker process died"):
+            backend.query_key(ShardQueryRequest(shard_id=1, key=(5, 5, 5)))
+        # Even a flush whose slices are all empty must report the loss.
+        with pytest.raises(ShardBackendError, match="shard 0 worker process died"):
+            backend.apply_shard_batches(
+                [
+                    ShardUpdateBatch(shard_id=0, entries=()),
+                    ShardUpdateBatch(shard_id=1, entries=()),
+                ]
+            )
+    finally:
+        backend.close()
+
+
+def test_worker_side_exception_is_reported_not_fatal():
+    backend = ProcessPoolBackend(CONFIG, num_shards=1)
+    try:
+        # A message addressed to the wrong shard raises inside the worker;
+        # the worker must report the error and keep serving.
+        bad = ShardQueryRequest(shard_id=9, key=(1, 1, 1))
+        backend._send(0, "query", bad)
+        with pytest.raises(ShardBackendError, match="shard 0 worker failed"):
+            backend._recv(0)
+        # The worker survived and still answers well-formed requests.
+        answer = backend.query_key(ShardQueryRequest(shard_id=0, key=(1, 1, 1)))
+        assert answer.status == "unknown"
+    finally:
+        backend.close()
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+def test_apply_error_fail_stops_the_backend(name):
+    """A failed apply may leave some shards written and others not -- the
+    map no longer matches the sequential reference, so the backend must
+    refuse every later interaction rather than serve inconsistent answers."""
+    backend = make_backend(name, CONFIG, num_shards=2)
+    try:
+        good = ShardUpdateBatch(shard_id=1, entries=((5, 5, 5, True),))
+        # Key component 70000 is outside the 16-bit key space: rebuilding the
+        # updates raises inside the worker that owns shard 0.
+        bad = ShardUpdateBatch(shard_id=0, entries=((70000, 0, 0, True),))
+        with pytest.raises(ShardBackendError):
+            backend.apply_shard_batches([bad, good])
+        assert backend.failed is not None
+        with pytest.raises(ShardBackendError, match="fail-stop"):
+            backend.query_key(ShardQueryRequest(shard_id=1, key=(5, 5, 5)))
+        with pytest.raises(ShardBackendError, match="fail-stop"):
+            backend.export_all()
+    finally:
+        backend.close()
+    # Close still reaps everything cleanly after a failure.
+    if name == "process":
+        assert all(not process.is_alive() for process in backend.processes)
+
+
+def test_unknown_verb_is_reported_not_fatal():
+    backend = ProcessPoolBackend(CONFIG, num_shards=1)
+    try:
+        backend._send(0, "selfdestruct", None)
+        with pytest.raises(ShardBackendError, match="unknown shard command"):
+            backend._recv(0)
+        assert backend.processes[0].is_alive()
+    finally:
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Cache generations across the process boundary
+# ---------------------------------------------------------------------------
+def test_cache_invalidation_with_process_backend(small_scans):
+    from repro.serving import ScanRequest
+
+    config = SessionConfig(num_shards=2, backend="process", batch_size=2).with_resolution(0.2)
+    with MapSession("map", config) as session:
+        session.ingest(ScanRequest.from_scan_node("map", small_scans[0]).with_request_id(0))
+        probe = (2.5, 0.0, 0.2)
+        first = session.query(*probe)
+        second = session.query(*probe)
+        assert not first.cached and second.cached
+        # A new scan bumps the written shards' generations in the parent's
+        # bookkeeping, so the stale entry is dropped, not served.
+        session.ingest(ScanRequest.from_scan_node("map", small_scans[1]).with_request_id(1))
+        third = session.query(*probe)
+        assert not third.cached
+        assert session.stats.cache.stale_hits >= 1
+
+
+def test_thread_and_process_generations_agree(small_scans):
+    from repro.serving import ScanRequest
+
+    generations = {}
+    for backend in ("inline", "thread", "process"):
+        config = SessionConfig(num_shards=2, backend=backend, batch_size=2).with_resolution(0.2)
+        with MapSession("map", config) as session:
+            for index, scan in enumerate(small_scans):
+                session.submit(ScanRequest.from_scan_node("map", scan).with_request_id(index))
+            session.flush_all()
+            generations[backend] = tuple(
+                session.backend.generation_of(shard)
+                for shard in range(config.num_shards)
+            )
+    assert generations["inline"] == generations["thread"] == generations["process"]
+
+
+def test_thread_pool_backend_has_inspectable_workers():
+    with make_backend("thread", CONFIG, 2) as backend:
+        assert isinstance(backend, ThreadPoolBackend)
+        assert [worker.shard_id for worker in backend.workers] == [0, 1]

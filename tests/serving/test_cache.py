@@ -40,7 +40,9 @@ def test_generation_bump_invalidates_only_that_shard():
 
 def test_lru_eviction_drops_least_recently_used():
     cache = GenerationLRUCache(capacity=2)
-    generation = lambda shard_id: 0
+    def generation(shard_id):
+        return 0
+
     cache.put("a", 0, 0, 1)
     cache.put("b", 0, 0, 2)
     assert cache.get("a", generation) == 1  # refresh "a"; "b" is now LRU

@@ -12,11 +12,36 @@ def test_parser_defaults():
     assert args.sessions == 2
     assert args.scheduler == "fifo"
     assert args.shards == 2
+    assert args.backend == "inline"
 
 
 def test_parser_rejects_unknown_scheduler():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--scheduler", "lifo"])
+
+
+def test_parser_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--backend", "rpc"])
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_main_runs_on_pool_backends(backend, capsys):
+    exit_code = main(
+        [
+            "--sessions", "1",
+            "--scans", "1",
+            "--shards", "2",
+            "--batch-size", "2",
+            "--backend", backend,
+            "--queries", "1",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert f"{backend} backend" in captured
+    assert "Serving: execution backend per session" in captured
+    assert backend in captured
 
 
 def test_main_runs_and_prints_stats(capsys):

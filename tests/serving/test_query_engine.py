@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.serving import MapSession, ScanRequest, SessionConfig
+from repro.serving import MapSession, SessionConfig
 
 
 @pytest.fixture

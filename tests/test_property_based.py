@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import DEFAULT_CONFIG
-from repro.core.fixedpoint import DEFAULT_FORMAT, FixedPointFormat, QuantizedOccupancyParams
+from repro.core.fixedpoint import DEFAULT_FORMAT, QuantizedOccupancyParams
 from repro.core.pe import ProcessingElement
 from repro.core.prune_manager import PruneAddressManager
 from repro.core.treemem import ChildStatus, TreeMemEntry
