@@ -18,23 +18,44 @@ from repro.analysis.service import (
     write_benchmark_json,
 )
 
-# Half the default client scan count: keeps the whole sweep (9 configs) to
-# tens of seconds inside the tier-1 harness.  The CI benchmark job runs the
-# full default workload via `python -m repro.analysis.service` on top.
+# Half the default client scan count: keeps the whole sweep (blocking +
+# pipelined rows) to tens of seconds inside the tier-1 harness.  The CI
+# benchmark job runs the full default workload via
+# `python -m repro.analysis.service` on top.
 BENCH_CLIENTS = tuple(replace(client, num_scans=3) for client in DEFAULT_BENCH_CLIENTS)
+
+# backend_scaling_experiment's batch size; the bench clients all write one
+# session, so a row sees front-end/apply overlap iff its per-session scan
+# count exceeds this (more than one flushed batch).
+BATCH_SIZE = 4
 
 
 def test_backend_scaling_sweep(benchmark, save_result, results_dir):
     result = benchmark.pedantic(
-        lambda: backend_scaling_experiment(BENCH_CLIENTS, shard_counts=(1, 2, 4)),
+        lambda: backend_scaling_experiment(
+            BENCH_CLIENTS, shard_counts=(1, 2, 4), batch_size=BATCH_SIZE
+        ),
         rounds=1,
         iterations=1,
     )
     save_result(result.experiment_id, result.rendered + "\n\n" + result.notes)
     write_benchmark_json(result, results_dir / "BENCH_serving.json")
 
-    assert {row[0] for row in result.rows} == {"inline", "thread", "process"}
-    # Same workload -> same dispatched updates on every backend and shard
-    # count (the serving equivalence property, visible in the bench too).
-    assert len({row[3] for row in result.rows}) == 1
-    assert all(row[4] > 0 for row in result.rows)
+    records = result.records()
+    assert {r["Backend"] for r in records} == {"inline", "thread", "process"}
+    assert {r["Mode"] for r in records} == {"blocking", "pipelined"}
+    # Same workload -> same dispatched updates on every backend, shard count
+    # and ingestion mode (the serving equivalence property, visible in the
+    # bench too).
+    assert len({r["Updates"] for r in records}) == 1
+    assert all(r["Ingest wall (s)"] > 0 for r in records)
+    # Pipelined rows hide front-end work behind in-flight applies (whether
+    # that buys wall clock depends on the runner's cores; the overlap ratio
+    # itself is core-count independent once a session flushes more than one
+    # batch -- all bench clients share one session, so that is per-row scans
+    # above the batch size).
+    pipelined_multibatch = [
+        r for r in records if r["Mode"] == "pipelined" and r["Scans"] > BATCH_SIZE
+    ]
+    assert pipelined_multibatch, "bench workload no longer produces multi-batch sessions"
+    assert all(r["Overlap (%)"] > 0.0 for r in pipelined_multibatch)

@@ -40,6 +40,8 @@ setup(
     extras_require={
         # Everything CI's tier-1 + benchmark jobs need beyond install_requires.
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # CI's coverage job layers pytest-cov on top of the test extra.
+        "cov": ["pytest-cov"],
         "lint": ["ruff"],
     },
     entry_points={

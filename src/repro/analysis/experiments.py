@@ -124,6 +124,12 @@ class ExperimentResult:
     rendered: str = ""
     notes: str = ""
 
+    def records(self) -> List[Dict[str, object]]:
+        """The rows as self-describing header -> value mappings, so consumers
+        (the benchmark JSON, CI tooling, tests) can read each measurement's
+        fields by name instead of by column position."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
     def __str__(self) -> str:  # pragma: no cover - convenience only
         return self.rendered
 

@@ -2,15 +2,17 @@
 
 The paper's tables characterise one accelerator on one dataset; this driver
 characterises the *service* built on top of it: several sessions ingesting an
-interleaved multi-client stream, swept over scheduler policies, shard counts
-and -- since the execution backends became pluggable -- over the backends
-themselves.  Reported per configuration:
+interleaved multi-client stream, swept over scheduler policies, shard counts,
+the pluggable execution backends, and -- since ingestion gained a
+double-buffered mode -- over blocking vs pipelined fan-out.  Reported per
+configuration:
 
 * dispatched voxel updates and the overlapping-ray de-dup saving,
 * modelled hardware ingestion latency (slowest-shard critical path summed
   over batches) and the resulting update throughput,
-* host-side wall-clock ingest throughput and backend fan-out share (the
-  quantity the process backend exists to improve),
+* host-side wall-clock ingest throughput, backend fan-out share and
+  front-end overlap ratio (the quantities the process backend and the
+  pipelined double-buffered mode exist to improve),
 * query-cache hit rate after a fixed warm-up + repeat query pattern.
 
 Like every other driver it returns an :class:`ExperimentResult` whose
@@ -82,6 +84,7 @@ def run_service_workload(
     seed: int = 0,
     query_rounds: int = 3,
     backend: str = "inline",
+    pipelined: bool = False,
 ):
     """Drive one configuration and return the manager (stats inside).
 
@@ -98,23 +101,30 @@ def run_service_workload(
         scheduler_policy=scheduler_policy,
         batch_size=batch_size,
         backend=backend,
+        pipelined=pipelined,
     ).with_resolution(resolution_m)
     manager = MapSessionManager(default_config=config)
-    for event in generate_interleaved_stream(clients, seed=seed):
-        manager.submit(
-            ScanRequest.from_scan_node(
-                event.session_id,
-                event.scan,
-                max_range=event.max_range_m,
-                priority=event.priority,
-                client_id=event.client_id,
+    try:
+        for event in generate_interleaved_stream(clients, seed=seed):
+            manager.submit(
+                ScanRequest.from_scan_node(
+                    event.session_id,
+                    event.scan,
+                    max_range=event.max_range_m,
+                    priority=event.priority,
+                    client_id=event.client_id,
+                )
             )
-        )
-    manager.flush_all()
-    for _ in range(query_rounds):
-        for session_id in manager.session_ids():
-            for point in _QUERY_PATTERN:
-                manager.query(session_id, *point)
+        manager.flush_all()
+        for _ in range(query_rounds):
+            for session_id in manager.session_ids():
+                for point in _QUERY_PATTERN:
+                    manager.query(session_id, *point)
+    except BaseException:
+        # The caller only owns the worker pool once the manager is returned;
+        # a failure while driving the workload must not leak shard processes.
+        manager.shutdown()
+        raise
     return manager
 
 
@@ -193,67 +203,89 @@ def backend_scaling_experiment(
     shard_counts: Sequence[int] = (1, 2, 4),
     batch_size: int = 4,
     seed: int = 0,
+    modes: Sequence[bool] = (False, True),
 ) -> ExperimentResult:
-    """Sweep execution backend x shard count; measure *wall-clock* ingest.
+    """Sweep execution backend x shard count x ingestion mode (wall clock).
 
-    This is the experiment the pluggable backends exist for: the modelled
-    hardware cycles are identical across backends (same update streams, same
-    accelerators), so the interesting column is host wall-clock throughput.
-    On a multi-core host the process backend overtakes inline from ~4 shards
-    as per-shard apply work starts to dominate its fan-out overhead; on a
-    single core it can only show the overhead, which the table makes visible
-    too (``cpu_count`` travels with the JSON so CI trends are comparable).
+    This is the experiment the pluggable backends and the pipelined
+    (double-buffered) ingestion exist for: the modelled hardware cycles are
+    identical across backends and modes (same update streams, same
+    accelerators), so the interesting columns are host wall-clock throughput
+    and how much of the serial ray-casting front end the pipelined mode
+    hides behind in-flight applies.  On a multi-core host the pipelined
+    process backend overtakes blocking fan-out from ~2 shards (front end and
+    apply run on different cores); on a single core the overlap buys nothing
+    -- the overlap column still reports the exposure, and ``cpu_count``
+    travels with the JSON so CI trends are comparable.
     """
     headers = (
         "Backend",
+        "Mode",
         "Shards",
         "Scans",
         "Updates",
         "Ingest wall (s)",
         "Fan-out (s)",
+        "Overlap (%)",
         "Updates/s (wall)",
         "Speedup vs inline",
+        "Pipeline gain",
         "Utilization (%)",
     )
     measurements: List[dict] = []
     for backend in backends:
         for num_shards in shard_counts:
-            manager = run_service_workload(
-                clients,
-                num_shards=num_shards,
-                batch_size=batch_size,
-                seed=seed,
-                query_rounds=0,
-                backend=backend,
-            )
-            try:
-                stats = list(manager.service_stats)
-                # Sustained ingest only: the per-batch wall clock the pipeline
-                # measured (front end + fan-out), *not* worker spawn or scan
-                # synthesis -- charging per-row setup to the pool backends
-                # would bias the speedup column against exactly the backends
-                # this sweep exists to compare.
-                measurements.append(
-                    {
-                        "backend": backend,
-                        "shards": num_shards,
-                        "scans": sum(block.scans_ingested for block in stats),
-                        "updates": manager.service_stats.total_voxel_updates(),
-                        "wall": sum(block.ingest_wall_seconds for block in stats),
-                        "fanout": sum(block.fanout_wall_seconds for block in stats),
-                        "utilization": (
-                            sum(block.shard_utilization for block in stats) / len(stats)
-                            if stats
-                            else 0.0
-                        ),
-                    }
+            for pipelined in modes:
+                manager = run_service_workload(
+                    clients,
+                    num_shards=num_shards,
+                    batch_size=batch_size,
+                    seed=seed,
+                    query_rounds=0,
+                    backend=backend,
+                    pipelined=pipelined,
                 )
-            finally:
-                manager.shutdown()
-    # Speedups are derived after the whole sweep so the baseline is found no
-    # matter where (or whether) "inline" appears in the backends argument.
+                try:
+                    stats = list(manager.service_stats)
+                    # Sustained ingest only: the per-batch wall clock the
+                    # pipeline measured (front end + fan-out), *not* worker
+                    # spawn or scan synthesis -- charging per-row setup to the
+                    # pool backends would bias the speedup column against
+                    # exactly the backends this sweep exists to compare.
+                    measurements.append(
+                        {
+                            "backend": backend,
+                            "pipelined": pipelined,
+                            "shards": num_shards,
+                            "scans": sum(block.scans_ingested for block in stats),
+                            "updates": manager.service_stats.total_voxel_updates(),
+                            "wall": sum(block.ingest_wall_seconds for block in stats),
+                            "fanout": sum(block.fanout_wall_seconds for block in stats),
+                            "overlap": (
+                                sum(block.overlap_ratio for block in stats) / len(stats)
+                                if stats
+                                else 0.0
+                            ),
+                            "utilization": (
+                                sum(block.shard_utilization for block in stats) / len(stats)
+                                if stats
+                                else 0.0
+                            ),
+                        }
+                    )
+                finally:
+                    manager.shutdown()
+    # Baselines are derived after the whole sweep so they are found no matter
+    # where (or whether) "inline" / blocking mode appear in the arguments.
     inline_wall = {
-        m["shards"]: m["wall"] for m in measurements if m["backend"] == "inline"
+        m["shards"]: m["wall"]
+        for m in measurements
+        if m["backend"] == "inline" and not m["pipelined"]
+    }
+    blocking_wall = {
+        (m["backend"], m["shards"]): m["wall"]
+        for m in measurements
+        if not m["pipelined"]
     }
     rows: List[Tuple[object, ...]] = []
     for m in measurements:
@@ -261,22 +293,29 @@ def backend_scaling_experiment(
         speedup: object = "n/a"
         if baseline is not None and m["wall"] > 0:
             speedup = baseline / m["wall"]
+        blocking = blocking_wall.get((m["backend"], m["shards"]))
+        pipeline_gain: object = "n/a"
+        if blocking is not None and m["wall"] > 0:
+            pipeline_gain = blocking / m["wall"]
         rows.append(
             (
                 m["backend"],
+                "pipelined" if m["pipelined"] else "blocking",
                 m["shards"],
                 m["scans"],
                 m["updates"],
                 m["wall"],
                 m["fanout"],
+                100.0 * m["overlap"],
                 m["updates"] / m["wall"] if m["wall"] > 0 else 0.0,
                 speedup,
+                pipeline_gain,
                 100.0 * m["utilization"],
             )
         )
     result = ExperimentResult(
         experiment_id="backend_scaling",
-        title="Serving layer: execution backend x shard-count sweep (wall clock)",
+        title="Serving layer: backend x shard-count x ingestion-mode sweep (wall clock)",
         headers=headers,
         rows=rows,
     )
@@ -285,9 +324,11 @@ def backend_scaling_experiment(
         "Ingest wall is the pipeline's per-batch wall clock summed over the "
         "run: the shared ray-casting front end (serial, identical across "
         "backends) plus the backend fan-out, excluding worker start-up and "
-        "scan synthesis; the process backend's win therefore grows with "
-        "per-shard apply work and with available cores "
-        f"(this run: {os.cpu_count() or 1})."
+        "scan synthesis.  'Pipeline gain' compares each row against the same "
+        "backend/shard count with blocking fan-out; the pipelined win grows "
+        "with per-shard apply work and with available cores "
+        f"(this run: {os.cpu_count() or 1}; on a single core the overlap "
+        "column reports exposure without a wall-clock win)."
     )
     return result
 
@@ -300,6 +341,10 @@ def write_benchmark_json(result: ExperimentResult, path) -> Path:
         "title": result.title,
         "headers": list(result.headers),
         "rows": [list(row) for row in result.rows],
+        # One self-describing record per row: header -> value, so downstream
+        # tooling can read each measurement's backend / pipeline flags without
+        # relying on column positions.
+        "records": result.records(),
         "notes": result.notes,
         "environment": {
             "python": sys.version.split()[0],
@@ -349,6 +394,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="scans per benchmark client (default 6)",
     )
     parser.add_argument(
+        "--pipeline",
+        choices=["both", "off", "on"],
+        default="both",
+        help=(
+            "ingestion-mode dimension of the sweep: 'both' compares blocking "
+            "and pipelined (double-buffered) fan-out, 'off'/'on' pin one mode"
+        ),
+    )
+    parser.add_argument(
         "--skip-scheduler-sweep",
         action="store_true",
         help="only run the backend sweep (faster)",
@@ -360,8 +414,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     clients = tuple(
         replace(client, num_scans=args.scans) for client in DEFAULT_BENCH_CLIENTS
     )
+    modes = {"both": (False, True), "off": (False,), "on": (True,)}[args.pipeline]
     backend_result = backend_scaling_experiment(
-        clients, backends=tuple(args.backends), shard_counts=tuple(args.shards)
+        clients,
+        backends=tuple(args.backends),
+        shard_counts=tuple(args.shards),
+        modes=modes,
     )
     print(backend_result.rendered)
     print(backend_result.notes)

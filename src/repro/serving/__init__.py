@@ -58,6 +58,35 @@ this), and the generation-stamped query cache stays correct across process
 boundaries because every apply acknowledgement carries the worker's write
 generation.
 
+Pipelined ingestion
+-------------------
+
+``SessionConfig(pipelined=True)`` (or ``repro-serve --pipeline``) turns on
+double-buffered ingestion: while the backend applies batch N, the pipeline
+already ray-casts and routes batch N+1, so the serial front end and the
+shard apply overlap instead of alternating.  Two rules keep this
+leaf-for-leaf faithful to the paper's sequential update semantics:
+
+* **One in flight.**  A backend holds at most one dispatched batch (one
+  :class:`~repro.serving.types.ApplyTicket`) at a time --
+  :meth:`~repro.serving.backends.ShardBackend.apply_async` raises rather
+  than deepen the pipeline.  Per-shard apply order therefore stays exactly
+  the dispatch order, which is what the sequential-equivalence property
+  rests on; generation stamps are adopted atomically only when the ticket is
+  drained, never mid-apply.
+* **Queries barrier.**  Every read path -- point/batch/bbox/raycast queries,
+  cache validation, exports -- first settles in-flight work for the shards
+  it touches (:meth:`~repro.serving.backends.ShardBackend.barrier`), so no
+  reader can observe a half-applied flush, and a cache hit can never be
+  validated against a stamp an already-dispatched flush is invalidating.
+
+On the inline backend the "async" apply runs eagerly, so pipelined
+ingestion degenerates to the serial reference; the process backend is where
+the overlap buys wall-clock throughput (given spare cores).  Crash semantics
+are unchanged: a worker that dies with a batch in flight surfaces as
+:class:`ShardBackendError` on the next submit/flush/query and fail-stops the
+backend.
+
 Quickstart::
 
     from repro.serving import MapSessionManager, ScanRequest, SessionConfig
@@ -71,6 +100,7 @@ Quickstart::
 
 from repro.serving.backends import (
     BACKEND_NAMES,
+    ApplyTicket,
     InlineBackend,
     ProcessPoolBackend,
     ShardBackend,
@@ -108,6 +138,7 @@ from repro.serving.types import (
 )
 
 __all__ = [
+    "ApplyTicket",
     "BACKEND_NAMES",
     "BatchReport",
     "BoxOccupancySummary",

@@ -26,16 +26,35 @@ over all of them).
 
 Cache correctness across process boundaries: the generation-stamped query
 cache needs the *parent* to know each shard's write generation.  Shard state
-only ever changes inside a synchronous ``apply`` round-trip, and every
+only ever changes inside an ``apply`` round-trip (blocking, or the
+``apply_async``/``drain`` pair), and every
 :class:`~repro.serving.types.ShardApplyResult` carries the worker's
 generation after the apply; the backend adopts that value as the parent-side
-stamp.  Queries therefore validate against exactly the generation the owning
-worker reported last, no matter which side of a process boundary it lives on.
+stamp when the round-trip settles.  Queries therefore validate against
+exactly the generation the owning worker reported last, no matter which side
+of a process boundary it lives on.
 
 A worker process that dies (crash, OOM kill, ``terminate()``) surfaces as a
 :class:`ShardBackendError` on the next interaction instead of a hang, and
 :meth:`ShardBackend.close` always reaps every child, so no orphan processes
 outlive the session.
+
+Pipelined (double-buffered) dispatch: besides the blocking
+:meth:`ShardBackend.apply_shard_batches`, every backend offers a
+non-blocking :meth:`ShardBackend.apply_async` /
+:meth:`ShardBackend.drain` pair.  ``apply_async`` hands each shard its slice
+and immediately returns an :class:`~repro.serving.types.ApplyTicket` while
+the workers apply in the background; ``drain`` redeems the ticket for the
+acknowledgements and only then adopts the workers' write generations into
+the parent-side cache bookkeeping.  At most one ticket is ever in flight
+(the one-in-flight invariant); a second ``apply_async`` before the drain
+raises.  Every read path -- ``query_key``, ``generation_of``,
+``export_all`` -- first :meth:`ShardBackend.barrier`\\ s on the in-flight
+ticket when it touches the shards being read, so no reader can observe a
+half-applied generation (and, for the process backend, no query can cut in
+front of a pending apply acknowledgement on the same pipe).  The inline
+backend applies eagerly inside ``apply_async``, so pipelined ingestion on it
+degenerates to exactly the serial reference semantics.
 """
 
 from __future__ import annotations
@@ -49,6 +68,7 @@ from repro.core.config import OMUConfig
 from repro.octomap.octree import OccupancyOcTree
 from repro.serving.sharding import MapShardWorker
 from repro.serving.types import (
+    ApplyTicket,
     ShardApplyResult,
     ShardExportResult,
     ShardQueryRequest,
@@ -58,6 +78,7 @@ from repro.serving.types import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "ApplyTicket",
     "InlineBackend",
     "ProcessPoolBackend",
     "ShardBackend",
@@ -75,11 +96,14 @@ class ShardBackend(ABC):
     """Executes shard work for one session; the session's only way to touch shards.
 
     The write path calls :meth:`apply_shard_batches` once per flushed
-    ingestion batch with one :class:`ShardUpdateBatch` per shard slice; the
+    ingestion batch with one :class:`ShardUpdateBatch` per shard slice -- or,
+    pipelined, the non-blocking :meth:`apply_async` / :meth:`drain` pair with
+    at most one :class:`~repro.serving.types.ApplyTicket` in flight.  The
     read path calls :meth:`query_key`; export stitching calls
-    :meth:`export_all`.  Subclasses implement the ``_``-prefixed hooks; the
-    base class owns the parent-side accounting (generations, per-shard update
-    counts, fan-out timing) so every backend reports identically.
+    :meth:`export_all`; both barrier on in-flight tickets for the shards they
+    touch.  Subclasses implement the ``_``-prefixed hooks; the base class
+    owns the parent-side accounting (generations, per-shard update counts,
+    ticket bookkeeping) so every backend reports identically.
     """
 
     #: registry name, e.g. ``"process"``; used by config / CLI / stats.
@@ -97,6 +121,16 @@ class ShardBackend(ABC):
         self.failed: Optional[str] = None
         self._generations = [0] * num_shards
         self._updates_applied = [0] * num_shards
+        self._next_ticket_id = 0
+        #: the one ticket allowed in flight, paired with the subclass handle
+        #: returned by :meth:`_apply_begin` (double-buffering depth of one).
+        self._inflight: Optional[Tuple[ApplyTicket, object]] = None
+        #: acknowledgements of the ticket settled by a barrier (or an
+        #: all-empty flush) before its owner drained it: ``(ticket_id,
+        #: results)``.  One slot suffices -- the one-in-flight invariant
+        #: means at most one settled ticket can await its owner; a new
+        #: dispatch overwrites the slot, abandoning acks nobody came for.
+        self._parked: Optional[Tuple[int, List[ShardApplyResult]]] = None
 
     # ------------------------------------------------------------------
     # Public API (what sessions call)
@@ -106,9 +140,10 @@ class ShardBackend(ABC):
     ) -> List[ShardApplyResult]:
         """Fan one flush's per-shard slices out to the workers and gather.
 
-        Empty slices are filtered out before dispatch; results come back in
-        ``batches`` order.  Parent-side accounting (generation stamps,
-        per-shard counters) is updated from the acknowledgements.
+        The blocking reference path: ``apply_async`` immediately followed by
+        ``drain``.  Empty slices are filtered out before dispatch; results
+        come back in ``batches`` order.  Parent-side accounting (generation
+        stamps, per-shard counters) is updated from the acknowledgements.
 
         An apply failure on any shard is fail-stop: some shards may already
         have mutated their map region while others have not, so the backend
@@ -116,14 +151,120 @@ class ShardBackend(ABC):
         :class:`ShardBackendError` instead of silently serving a map that no
         longer matches the sequential reference.
         """
+        ticket = self.apply_async(batches)
+        return self.drain(ticket)
+
+    def apply_async(self, batches: Sequence[ShardUpdateBatch]) -> ApplyTicket:
+        """Dispatch one flush's slices without waiting for the workers.
+
+        Returns an :class:`~repro.serving.types.ApplyTicket` the caller later
+        redeems with :meth:`drain`.  Generation stamps and per-shard counters
+        are *not* touched here -- they are adopted atomically at settle time,
+        so a reader can never see a half-applied flush.  At most one ticket
+        may be in flight; dispatching a second one raises instead of silently
+        deepening the pipeline (per-shard apply order must stay the dispatch
+        order for the sequential-equivalence property to hold).
+        """
         self._ensure_open()
         # Health check before the empty-slice filter: a flush whose slices
         # are all empty must still surface a dead worker rather than report
         # success on a session that has lost a shard.
         self._health_check()
+        if self._inflight is not None:
+            raise ShardBackendError(
+                f"{self.name} backend already has ticket "
+                f"{self._inflight[0].ticket_id} in flight; drain it before "
+                "dispatching another batch (one-in-flight invariant)"
+            )
         live = [batch for batch in batches if batch.entries]
+        ticket = ApplyTicket(
+            ticket_id=self._next_ticket_id,
+            shard_ids=tuple(batch.shard_id for batch in live),
+        )
+        self._next_ticket_id += 1
+        if not live:
+            # Nothing to apply: settle immediately so drain finds it.
+            self._parked = (ticket.ticket_id, [])
+            return ticket
         try:
-            results = self._apply(live) if live else []
+            handle = self._apply_begin(live)
+        except ShardBackendError as error:
+            self.failed = str(error)
+            raise
+        except Exception as error:
+            self.failed = f"{type(error).__name__}: {error}"
+            raise ShardBackendError(
+                f"shard dispatch failed on the {self.name} backend: {self.failed}"
+            ) from error
+        self._inflight = (ticket, handle)
+        return ticket
+
+    def drain(self, ticket: Optional[ApplyTicket] = None) -> List[ShardApplyResult]:
+        """Redeem a ticket for its per-shard acknowledgements (blocking).
+
+        With ``ticket=None`` the in-flight ticket (if any) is drained and
+        ``[]`` is returned when nothing is in flight.  A ticket may be
+        drained exactly once, even if a query barrier settled its results in
+        the meantime (the results are held for the owner).  A worker that
+        died with the batch in flight surfaces here as
+        :class:`ShardBackendError` and fail-stops the backend.
+        """
+        self._ensure_open()
+        if ticket is not None and self._parked is not None and self._parked[0] == ticket.ticket_id:
+            results = self._parked[1]
+            self._parked = None
+            return results
+        if self._inflight is None:
+            if ticket is None:
+                # Acknowledgements parked by a barrier stay reserved for
+                # their ticket's owner (e.g. a pipelined ingestion pipeline
+                # that has not finalized the batch yet); a ticketless drain
+                # must not steal them.  An abandoned slot is overwritten by
+                # the next settle instead of leaking.
+                return []
+            raise ShardBackendError(
+                f"ticket {ticket.ticket_id} is not in flight on the "
+                f"{self.name} backend (already drained, or never issued here)"
+            )
+        inflight_ticket = self._inflight[0]
+        if ticket is not None and ticket.ticket_id != inflight_ticket.ticket_id:
+            raise ShardBackendError(
+                f"ticket {ticket.ticket_id} is not in flight on the "
+                f"{self.name} backend (ticket {inflight_ticket.ticket_id} is)"
+            )
+        self._settle()
+        results = self._parked[1]
+        self._parked = None
+        return results
+
+    def barrier(self, shard_ids: Optional[Sequence[int]] = None) -> None:
+        """Settle in-flight work touching the given shards (all when None).
+
+        The read-side half of the one-in-flight invariant: every read path
+        calls this before trusting generation stamps (or, for the process
+        backend, before sharing a pipe with a pending apply), so no query,
+        export or cache validation can observe a half-applied flush.  The
+        settled acknowledgements stay parked for the ticket owner's later
+        :meth:`drain`.  A no-op when nothing relevant is in flight.
+        """
+        self._ensure_open()
+        if self._inflight is None:
+            return
+        ticket = self._inflight[0]
+        if shard_ids is None or set(shard_ids).intersection(ticket.shard_ids):
+            self._settle()
+
+    @property
+    def in_flight(self) -> Optional[ApplyTicket]:
+        """The ticket currently in flight, if any (observability/tests)."""
+        return self._inflight[0] if self._inflight is not None else None
+
+    def _settle(self) -> None:
+        """Collect the in-flight acknowledgements and adopt them atomically."""
+        ticket, handle = self._inflight
+        self._inflight = None
+        try:
+            results = self._apply_collect(handle)
         except ShardBackendError as error:
             self.failed = str(error)
             raise
@@ -135,16 +276,26 @@ class ShardBackend(ABC):
         for result in results:
             self._generations[result.shard_id] = result.generation
             self._updates_applied[result.shard_id] += result.updates_applied
-        return results
+        self._parked = (ticket.ticket_id, results)
 
     def query_key(self, request: ShardQueryRequest) -> ShardQueryResult:
-        """Serve one voxel-key lookup from the owning shard worker."""
+        """Serve one voxel-key lookup from the owning shard worker.
+
+        Barriers first when the owning shard has a batch in flight, so the
+        answer always reflects every previously dispatched flush.
+        """
         self._ensure_open()
+        self.barrier((request.shard_id,))
         return self._query(request)
 
     def export_all(self) -> List[OccupancyOcTree]:
-        """Gather every shard's exported subtree (concurrently where possible)."""
+        """Gather every shard's exported subtree (concurrently where possible).
+
+        Barriers on all in-flight work first: an export must stitch a map
+        that includes every dispatched flush.
+        """
         self._ensure_open()
+        self.barrier()
         exports = self._export()
         return [export.tree for export in sorted(exports, key=lambda e: e.shard_id)]
 
@@ -153,9 +304,12 @@ class ShardBackend(ABC):
 
         Guarded like every other interaction: a cache *hit* never does a
         worker round-trip, so this is the only gate that keeps cached reads
-        from silently outliving a closed or fail-stopped backend.
+        from silently outliving a closed or fail-stopped backend.  Barriers
+        on in-flight work touching the shard, so cache validation never
+        accepts an entry that an already-dispatched flush is invalidating.
         """
         self._ensure_open()
+        self.barrier((shard_id,))
         return self._generations[shard_id]
 
     @property
@@ -176,8 +330,15 @@ class ShardBackend(ABC):
         return tuple(self._updates_applied)
 
     def close(self) -> None:
-        """Release workers (processes, threads).  Idempotent."""
+        """Release workers (processes, threads).  Idempotent.
+
+        Safe to call with a batch in flight: the in-flight ticket is
+        abandoned (its results are never adopted) and every child is still
+        reaped -- a crashing session must not leak worker processes.
+        """
         if not self.closed:
+            self._inflight = None
+            self._parked = None
             self._close()
             self.closed = True
 
@@ -197,8 +358,17 @@ class ShardBackend(ABC):
     # Subclass hooks
     # ------------------------------------------------------------------
     @abstractmethod
-    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
-        """Apply non-empty shard slices; return acknowledgements in order."""
+    def _apply_begin(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        """Start applying non-empty shard slices; return an opaque handle.
+
+        A backend with real concurrency dispatches here and returns without
+        waiting (futures, pipe sends); the inline reference applies eagerly
+        and returns the finished results as the handle.
+        """
+
+    @abstractmethod
+    def _apply_collect(self, handle: object) -> List[ShardApplyResult]:
+        """Wait for a ``_apply_begin`` handle; return acks in dispatch order."""
 
     @abstractmethod
     def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
@@ -240,8 +410,11 @@ class _LocalWorkersMixin:
         """Live worker generation: in-process workers can be read directly,
         which also keeps out-of-band writes (tests poking a worker) visible
         to the cache.  Still guarded, so cached reads cannot outlive a
-        closed or fail-stopped backend."""
+        closed or fail-stopped backend, and still barriered, so a thread
+        still applying an in-flight slice cannot leak a half-bumped
+        generation to cache validation."""
         self._ensure_open()
+        self.barrier((shard_id,))
         return self._workers[shard_id].generation
 
     def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
@@ -252,7 +425,13 @@ class _LocalWorkersMixin:
 
 
 class InlineBackend(_LocalWorkersMixin, ShardBackend):
-    """The reference backend: serial execution in the calling thread."""
+    """The reference backend: serial execution in the calling thread.
+
+    ``apply_async`` applies eagerly (there is nothing to overlap with), so
+    pipelined ingestion on this backend degenerates to exactly the serial
+    reference semantics -- same apply order, same generations, zero
+    concurrency.
+    """
 
     name = "inline"
 
@@ -260,8 +439,11 @@ class InlineBackend(_LocalWorkersMixin, ShardBackend):
         super().__init__(config, num_shards)
         self._workers = self._make_workers()
 
-    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
+    def _apply_begin(self, batches: Sequence[ShardUpdateBatch]) -> object:
         return [self._workers[batch.shard_id].apply_message(batch) for batch in batches]
+
+    def _apply_collect(self, handle: object) -> List[ShardApplyResult]:
+        return handle
 
 
 class ThreadPoolBackend(_LocalWorkersMixin, ShardBackend):
@@ -281,14 +463,18 @@ class ThreadPoolBackend(_LocalWorkersMixin, ShardBackend):
             max_workers=num_shards, thread_name_prefix="shard"
         )
 
-    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
-        futures = [
+    def _apply_begin(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        return [
             self._executor.submit(self._workers[batch.shard_id].apply_message, batch)
             for batch in batches
         ]
-        return [future.result() for future in futures]
+
+    def _apply_collect(self, handle: object) -> List[ShardApplyResult]:
+        return [future.result() for future in handle]
 
     def _close(self) -> None:
+        # wait=True also settles an abandoned in-flight slice: the pool
+        # threads finish before their workers are released.
         self._executor.shutdown(wait=True)
 
 
@@ -440,15 +626,22 @@ class ProcessPoolBackend(ShardBackend):
             raise first_error
         return results
 
-    def _apply(self, batches: Sequence[ShardUpdateBatch]) -> List[ShardApplyResult]:
-        # Send everything first: this is the fan-out that lets all shard
-        # processes chew on their slices at the same time.  (The public
-        # wrapper already ran _health_check.)
+    def _apply_begin(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        # Send everything without receiving: this is the fan-out that lets
+        # all shard processes chew on their slices at the same time -- and,
+        # pipelined, lets the parent ray-cast the next batch meanwhile.
+        # (The public wrapper already ran _health_check.)
         for batch in batches:
             self._send(batch.shard_id, "apply", batch)
-        return self._gather([batch.shard_id for batch in batches])
+        return [batch.shard_id for batch in batches]
+
+    def _apply_collect(self, handle: object) -> List[ShardApplyResult]:
+        return self._gather(handle)
 
     def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        # The public query_key already barriered on the owning shard, so the
+        # pipe cannot hold a pending apply acknowledgement that this
+        # request/reply round-trip would desynchronise.
         self._health_check()
         self._send(request.shard_id, "query", request)
         return self._recv(request.shard_id)

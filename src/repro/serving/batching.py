@@ -19,12 +19,29 @@ different scans into one would change the map whenever a value sits at a
 clamp bound.  Keeping each scan's single update per voxel, in scan order,
 makes batched + sharded ingestion bit-equivalent to sequential insertion of
 the same request sequence (the property the serving tests verify).
+
+Pipelined (double-buffered) mode: with ``pipelined=True`` the pipeline keeps
+one dispatched batch *in flight* on the backend while it ray-casts the next
+one, so the serial front end and the shard apply overlap instead of
+alternating.  Internally every flush is split into three phases -- *prepare*
+(pop + ray-cast + partition), *dispatch*
+(:meth:`~repro.serving.backends.ShardBackend.apply_async`), and *finalize*
+(:meth:`~repro.serving.backends.ShardBackend.drain` + report + accounting).
+Blocking mode runs the three phases back to back; pipelined mode prepares
+batch N+1 *before* finalizing batch N, which is exactly the overlap window.
+Each :meth:`IngestionPipeline.flush` still returns one completed
+:class:`~repro.serving.types.BatchReport` (the previously in-flight batch's),
+so callers that loop ``flush()`` until ``None`` -- including the session
+manager's round-robin -- drain pipelined sessions without changes.  The
+first pipelined flush primes the pipe by dispatching one batch and
+preparing the next, so it may consume up to ``2 * batch_size`` requests.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.scheduler import VoxelUpdateRequest
 from repro.octomap.counters import OperationCounters
@@ -33,9 +50,43 @@ from repro.serving.backends import ShardBackend
 from repro.serving.schedulers import IngestScheduler
 from repro.serving.sharding import ShardRouter
 from repro.serving.stats import SessionStats
-from repro.serving.types import BatchReport, IngestReceipt, ScanRequest, ShardUpdateBatch
+from repro.serving.types import (
+    ApplyTicket,
+    BatchReport,
+    IngestReceipt,
+    ScanRequest,
+    ShardUpdateBatch,
+)
 
 __all__ = ["IngestionPipeline"]
+
+
+@dataclass
+class _PreparedBatch:
+    """Front-end output of one batch: everything known before the apply."""
+
+    request_ids: List[int]
+    scans: int
+    points: int
+    rays: int
+    visits: int
+    voxel_updates: int
+    shard_updates: Tuple[int, ...]
+    batches: List[ShardUpdateBatch]
+    frontend_seconds: float
+    #: True when the front end ran while a previous batch was still in
+    #: flight on the workers -- the overlap the pipelined mode exists for.
+    overlapped: bool
+
+
+@dataclass
+class _InFlightBatch:
+    """A dispatched batch awaiting its drain (at most one exists)."""
+
+    prepared: _PreparedBatch
+    ticket: ApplyTicket
+    batch_id: int
+    dispatch_seconds: float
 
 
 class IngestionPipeline:
@@ -49,6 +100,7 @@ class IngestionPipeline:
         scheduler: IngestScheduler,
         stats: SessionStats,
         batch_size: int = 8,
+        pipelined: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -63,8 +115,10 @@ class IngestionPipeline:
         self.scheduler = scheduler
         self.stats = stats
         self.batch_size = batch_size
+        self.pipelined = pipelined
         self.batches_flushed = 0
         self.reports: List[BatchReport] = []
+        self._inflight: Optional[_InFlightBatch] = None
 
     # ------------------------------------------------------------------
     # Admission
@@ -82,19 +136,70 @@ class IngestionPipeline:
         )
 
     def pending(self) -> int:
-        """Requests admitted but not yet dispatched."""
+        """Requests admitted but not yet dispatched (excludes in-flight)."""
         return len(self.scheduler)
+
+    def in_flight_requests(self) -> int:
+        """Requests dispatched to the workers but not yet acknowledged."""
+        return len(self._inflight.prepared.request_ids) if self._inflight else 0
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def flush(self, max_requests: Optional[int] = None) -> Optional[BatchReport]:
-        """Dispatch one batch (up to ``batch_size`` requests); None if idle."""
-        budget = self.batch_size if max_requests is None else max_requests
-        if budget < 1 or not self.scheduler:
-            return None
-        started = time.perf_counter()
+        """Dispatch one batch (up to ``batch_size`` requests); None if idle.
 
+        Blocking mode returns the report of the batch just dispatched.
+        Pipelined mode returns the report of the *previously* in-flight
+        batch (finalized after the new batch's front end overlapped its
+        apply) and leaves the new batch in flight; once the admission queue
+        is empty, one final ``flush()`` drains the tail.  Either way a
+        ``None`` return means no progress was possible.
+        """
+        budget = self.batch_size if max_requests is None else max_requests
+        if not self.pipelined:
+            if budget < 1 or not self.scheduler:
+                return None
+            return self._finalize(self._dispatch(self._prepare(budget)))
+        if budget < 1 or not self.scheduler:
+            return self._finalize_tail()
+        if self._inflight is None:
+            # Prime the pipe: dispatch the first batch without waiting.
+            self._inflight = self._dispatch(self._prepare(budget))
+            if not self.scheduler:
+                return self._finalize_tail()
+        # Steady state: front-end of batch N+1 runs while batch N applies.
+        prepared = self._prepare(budget)
+        inflight, self._inflight = self._inflight, None
+        report = self._finalize(inflight)
+        self._inflight = self._dispatch(prepared)
+        return report
+
+    def flush_all(self) -> List[BatchReport]:
+        """Dispatch batches until the admission queue and the pipe are empty."""
+        reports: List[BatchReport] = []
+        while self.scheduler:
+            report = self.flush()
+            if report is None:
+                break
+            reports.append(report)
+        tail = self.flush()  # pipelined mode: drain the final in-flight batch
+        if tail is not None:
+            reports.append(tail)
+        return reports
+
+    # ------------------------------------------------------------------
+    # Flush phases
+    # ------------------------------------------------------------------
+    def _prepare(self, budget: int) -> _PreparedBatch:
+        """Pop up to ``budget`` requests and run the ray-casting front end."""
+        # Overlap means apply work was *actually* in flight on the backend
+        # while this front end ran -- ask the backend, not our own dispatch
+        # record: a query barrier between flushes settles the apply early,
+        # and crediting front-end time as overlapped after that would
+        # inflate the overlap ratio the stats exist to report.
+        overlapped = self.backend.in_flight is not None
+        started = time.perf_counter()
         stream: List[VoxelUpdateRequest] = []
         request_ids: List[int] = []
         scans = points = rays = visits = 0
@@ -132,41 +237,68 @@ class IngestionPipeline:
             ShardUpdateBatch.from_updates(shard_id, shard_stream)
             for shard_id, shard_stream in enumerate(per_shard)
         ]
-        fanout_started = time.perf_counter()
-        results = self.backend.apply_shard_batches(batches)
-        fanout = time.perf_counter() - fanout_started
-        shard_cycles = [result.critical_path_cycles for result in results]
-
-        wall = time.perf_counter() - started
-        report = BatchReport(
-            session_id=self.session_id,
-            batch_id=self.batches_flushed,
-            request_ids=tuple(request_ids),
+        return _PreparedBatch(
+            request_ids=request_ids,
             scans=scans,
-            rays_cast=rays,
-            ray_voxels_visited=visits,
+            points=points,
+            rays=rays,
+            visits=visits,
             voxel_updates=len(stream),
-            duplicates_removed=visits - len(stream),
             shard_updates=tuple(len(shard_stream) for shard_stream in per_shard),
-            modelled_cycles=max(shard_cycles, default=0),
-            wall_seconds=wall,
-            fanout_seconds=fanout,
-            backend=self.backend.name,
+            batches=batches,
+            frontend_seconds=time.perf_counter() - started,
+            overlapped=overlapped,
+        )
+
+    def _dispatch(self, prepared: _PreparedBatch) -> _InFlightBatch:
+        """Hand a prepared batch to the backend without waiting for acks."""
+        started = time.perf_counter()
+        ticket = self.backend.apply_async(prepared.batches)
+        inflight = _InFlightBatch(
+            prepared=prepared,
+            ticket=ticket,
+            batch_id=self.batches_flushed,
+            dispatch_seconds=time.perf_counter() - started,
         )
         self.batches_flushed += 1
+        return inflight
+
+    def _finalize(self, inflight: _InFlightBatch) -> BatchReport:
+        """Drain a dispatched batch, build its report, account the stats."""
+        wait_started = time.perf_counter()
+        results = self.backend.drain(inflight.ticket)
+        drain_wait = time.perf_counter() - wait_started
+        shard_cycles = [result.critical_path_cycles for result in results]
+        prepared = inflight.prepared
+        report = BatchReport(
+            session_id=self.session_id,
+            batch_id=inflight.batch_id,
+            request_ids=tuple(prepared.request_ids),
+            scans=prepared.scans,
+            rays_cast=prepared.rays,
+            ray_voxels_visited=prepared.visits,
+            voxel_updates=prepared.voxel_updates,
+            duplicates_removed=prepared.visits - prepared.voxel_updates,
+            shard_updates=prepared.shard_updates,
+            modelled_cycles=max(shard_cycles, default=0),
+            wall_seconds=prepared.frontend_seconds + inflight.dispatch_seconds + drain_wait,
+            fanout_seconds=inflight.dispatch_seconds + drain_wait,
+            frontend_seconds=prepared.frontend_seconds,
+            drain_wait_seconds=drain_wait,
+            pipelined=self.pipelined,
+            overlapped=prepared.overlapped,
+            backend=self.backend.name,
+        )
         self.reports.append(report)
-        self._account(report, points)
+        self._account(report, prepared.points)
         return report
 
-    def flush_all(self) -> List[BatchReport]:
-        """Dispatch batches until the admission queue is empty."""
-        reports: List[BatchReport] = []
-        while self.scheduler:
-            report = self.flush()
-            if report is None:
-                break
-            reports.append(report)
-        return reports
+    def _finalize_tail(self) -> Optional[BatchReport]:
+        """Drain the in-flight batch when the admission queue has emptied."""
+        if self._inflight is None:
+            return None
+        inflight, self._inflight = self._inflight, None
+        return self._finalize(inflight)
 
     # ------------------------------------------------------------------
     # Internals
@@ -182,4 +314,10 @@ class IngestionPipeline:
         self.stats.modelled_ingest_cycles += report.modelled_cycles
         self.stats.ingest_wall_seconds += report.wall_seconds
         self.stats.fanout_wall_seconds += report.fanout_seconds
+        self.stats.frontend_wall_seconds += report.frontend_seconds
+        self.stats.drain_wait_seconds += report.drain_wait_seconds
+        if report.pipelined:
+            self.stats.pipelined_batches += 1
+            if report.overlapped:
+                self.stats.overlapped_frontend_seconds += report.frontend_seconds
         self.stats.shard_updates = list(self.backend.shard_load())

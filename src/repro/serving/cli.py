@@ -53,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="inline",
         help="shard execution backend (default inline; 'process' runs one worker process per shard)",
     )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "double-buffered ingestion: ray-cast batch N+1 while the backend "
+            "applies batch N (one batch in flight; same maps, better overlap "
+            "on multi-core hosts with the process backend)"
+        ),
+    )
     parser.add_argument("--shards", type=int, default=2, help="shard workers per session (default 2)")
     parser.add_argument(
         "--prefix-levels",
@@ -84,6 +93,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_shards=args.shards,
             shard_prefix_levels=args.prefix_levels,
             backend=args.backend,
+            pipelined=args.pipeline,
             scheduler_policy=args.scheduler,
             batch_size=args.batch_size,
         ).with_resolution(args.resolution)
@@ -107,10 +117,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     stream = generate_interleaved_stream(clients, seed=args.seed)
+    mode = "pipelined" if args.pipeline else "blocking"
     print(
         f"Streaming {len(stream)} scans from {len(clients)} clients "
-        f"({args.backend} backend, {args.scheduler} scheduler, {args.shards} shards, "
-        f"batch {args.batch_size})"
+        f"({args.backend} backend, {mode} ingestion, {args.scheduler} scheduler, "
+        f"{args.shards} shards, batch {args.batch_size})"
     )
 
     try:

@@ -77,6 +77,11 @@ class QueryEngine:
         """Occupancy of a voxel by key (the cacheable primitive)."""
         self.stats.point_queries += 1
         shard_id = self.router.shard_for_key(key)
+        # Pipelined ingestion keeps one dispatched batch in flight; both read
+        # paths below settle it for this shard before answering (the backend
+        # barriers inside generation_of for the cache validation and inside
+        # query_key for the miss round-trip), so neither can observe a
+        # half-applied flush.
         cache_key = key.as_tuple()
         cached = self.cache.get(cache_key, self.generation_of)
         if cached is not None:

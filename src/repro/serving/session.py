@@ -49,6 +49,13 @@ class SessionConfig:
             ``"thread"`` (concurrent fan-out, GIL-bound) or ``"process"``
             (one worker process per shard, true CPU parallelism).  See
             :mod:`repro.serving.backends` for when to pick each.
+        pipelined: double-buffered ingestion -- the pipeline ray-casts batch
+            N+1 while the backend applies batch N, with at most one batch in
+            flight.  Leaf-for-leaf equivalent to blocking ingestion on every
+            backend (queries barrier on in-flight work); only the wall-clock
+            overlap changes.  On the inline backend it degenerates to the
+            serial reference; it pays off on the process backend once the
+            host has cores to run front end and apply concurrently.
         mp_start_method: ``multiprocessing`` start method for the process
             backend (``None`` picks ``fork`` where available).
         scheduler_policy: ``"fifo"``, ``"priority"`` or ``"deadline"``.
@@ -63,6 +70,7 @@ class SessionConfig:
     num_shards: int = 2
     shard_prefix_levels: int = 12
     backend: str = "inline"
+    pipelined: bool = False
     mp_start_method: Optional[str] = None
     scheduler_policy: str = "fifo"
     batch_size: int = 8
@@ -90,6 +98,10 @@ class SessionConfig:
         """Copy served by a different shard execution backend."""
         return replace(self, backend=backend)
 
+    def with_pipelined(self, pipelined: bool = True) -> "SessionConfig":
+        """Copy with double-buffered (pipelined) ingestion toggled."""
+        return replace(self, pipelined=pipelined)
+
 
 class MapSession:
     """One named occupancy map served by a sharded worker pool."""
@@ -103,6 +115,7 @@ class MapSession:
             session_id=session_id,
             backend_name=self.config.backend,
             num_shards=self.config.num_shards,
+            pipelined=self.config.pipelined,
         )
         self.router = ShardRouter(
             self.config.accelerator,
@@ -122,6 +135,7 @@ class MapSession:
             make_scheduler(self.config.scheduler_policy),
             self.stats,
             batch_size=self.config.batch_size,
+            pipelined=self.config.pipelined,
         )
         self.cache = GenerationLRUCache(self.config.cache_capacity)
         self.query_engine = QueryEngine(self.router, self.backend, self.cache, self.stats)
@@ -169,11 +183,16 @@ class MapSession:
         return self.pipeline.submit(request)
 
     def flush(self) -> Optional[BatchReport]:
-        """Dispatch one batch of admitted requests; None when idle."""
+        """Dispatch one batch of admitted requests; None when idle.
+
+        With ``pipelined=True`` the returned report is the previously
+        in-flight batch's (the new batch stays in flight); see
+        :meth:`IngestionPipeline.flush`.
+        """
         return self.pipeline.flush()
 
     def flush_all(self) -> List[BatchReport]:
-        """Dispatch until the admission queue is empty."""
+        """Dispatch until the admission queue (and any in-flight batch) is empty."""
         return self.pipeline.flush_all()
 
     def ingest(self, request: ScanRequest) -> BatchReport:

@@ -31,6 +31,7 @@ class SessionStats:
     session_id: str = ""
     backend_name: str = "inline"
     num_shards: int = 0
+    pipelined: bool = False
     # --- ingestion ---
     scans_ingested: int = 0
     points_ingested: int = 0
@@ -42,6 +43,12 @@ class SessionStats:
     modelled_ingest_cycles: int = 0
     ingest_wall_seconds: float = 0.0
     fanout_wall_seconds: float = 0.0
+    frontend_wall_seconds: float = 0.0
+    drain_wait_seconds: float = 0.0
+    #: front-end wall time spent while a previous batch was in flight on the
+    #: workers (the hidden-by-overlap share of the front end).
+    overlapped_frontend_seconds: float = 0.0
+    pipelined_batches: int = 0
     shard_updates: List[int] = field(default_factory=list)
     queue_high_water: int = 0
     # --- queries ---
@@ -83,6 +90,31 @@ class SessionStats:
         if self.ingest_wall_seconds <= 0.0:
             return 0.0
         return self.fanout_wall_seconds / self.ingest_wall_seconds
+
+    @property
+    def frontend_fraction(self) -> float:
+        """Share of ingest wall time spent in the ray-casting front end."""
+        if self.ingest_wall_seconds <= 0.0:
+            return 0.0
+        return self.frontend_wall_seconds / self.ingest_wall_seconds
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Share of front-end wall time hidden behind in-flight applies.
+
+        0.0 for blocking ingestion (nothing ever overlaps); approaches
+        ``(batches - 1) / batches`` for a saturated pipelined stream, where
+        every front end but the first runs while the workers apply the
+        previous batch.
+        """
+        if self.frontend_wall_seconds <= 0.0:
+            return 0.0
+        return self.overlapped_frontend_seconds / self.frontend_wall_seconds
+
+    @property
+    def ingest_mode(self) -> str:
+        """``"pipelined"`` or ``"blocking"`` (the stats-table label)."""
+        return "pipelined" if self.pipelined else "blocking"
 
     @property
     def shard_utilization(self) -> float:
@@ -134,9 +166,12 @@ class ServiceStats:
     BACKEND_HEADERS: Tuple[str, ...] = (
         "Session",
         "Backend",
+        "Mode",
         "Shards",
         "Fan-out (s)",
         "Fan-out (% wall)",
+        "Front end (% wall)",
+        "Overlap (%)",
         "Utilization (%)",
         "Updates/s (wall)",
     )
@@ -223,9 +258,12 @@ class ServiceStats:
             (
                 stats.session_id,
                 stats.backend_name,
+                stats.ingest_mode,
                 stats.num_shards,
                 stats.fanout_wall_seconds,
                 100.0 * stats.fanout_fraction,
+                100.0 * stats.frontend_fraction,
+                100.0 * stats.overlap_ratio,
                 100.0 * stats.shard_utilization,
                 stats.wall_updates_per_second,
             )

@@ -43,22 +43,42 @@ def test_service_scaling_experiment_table_shape():
         assert latencies[2] <= latencies[1] * 1.001, (policy, latencies)
 
 
-def test_backend_scaling_experiment_covers_backend_x_shards():
+def test_backend_scaling_experiment_covers_backend_x_shards_x_mode():
     result = backend_scaling_experiment(
         TINY_CLIENTS,
         backends=("inline", "thread", "process"),
         shard_counts=(1, 2),
     )
     assert result.experiment_id == "backend_scaling"
-    assert len(result.rows) == 6
+    # backends x shard counts x {blocking, pipelined}
+    assert len(result.rows) == 12
     assert all(len(row) == len(result.headers) for row in result.rows)
-    assert {row[0] for row in result.rows} == {"inline", "thread", "process"}
-    # Every backend dispatched the same updates (the equivalence guarantee).
-    assert len({row[3] for row in result.rows}) == 1
+    records = result.records()
+    assert {r["Backend"] for r in records} == {"inline", "thread", "process"}
+    assert {r["Mode"] for r in records} == {"blocking", "pipelined"}
+    # Every backend and mode dispatched the same updates (equivalence).
+    assert len({r["Updates"] for r in records}) == 1
     # Wall-clock columns are populated and positive.
-    assert all(row[4] > 0 and row[6] > 0 for row in result.rows)
-    # Inline rows are their own baseline.
-    assert all(row[7] == 1.0 for row in result.rows if row[0] == "inline")
+    assert all(r["Ingest wall (s)"] > 0 and r["Updates/s (wall)"] > 0 for r in records)
+    # Blocking rows are their own pipeline baseline; inline blocking is the
+    # cross-backend baseline.
+    assert all(r["Pipeline gain"] == 1.0 for r in records if r["Mode"] == "blocking")
+    assert all(
+        r["Speedup vs inline"] == 1.0
+        for r in records
+        if r["Backend"] == "inline" and r["Mode"] == "blocking"
+    )
+
+
+def test_backend_scaling_experiment_can_pin_one_mode():
+    result = backend_scaling_experiment(
+        TINY_CLIENTS, backends=("inline",), shard_counts=(1,), modes=(True,)
+    )
+    records = result.records()
+    assert len(records) == 1
+    assert records[0]["Mode"] == "pipelined"
+    # No blocking baseline in the sweep -> the gain column degrades politely.
+    assert records[0]["Pipeline gain"] == "n/a"
 
 
 def test_write_benchmark_json_round_trips(tmp_path):
@@ -69,6 +89,12 @@ def test_write_benchmark_json_round_trips(tmp_path):
     assert payload["headers"] == list(result.headers)
     assert payload["rows"] == [list(row) for row in result.rows]
     assert payload["environment"]["cpu_count"] >= 1
+    # Each row also travels as a self-describing record carrying the
+    # backend + pipeline flags by name.
+    assert payload["records"] == result.records()
+    for record in payload["records"]:
+        assert record["Backend"] == "inline"
+        assert record["Mode"] in ("blocking", "pipelined")
 
 
 def test_service_main_writes_json(tmp_path, capsys):
@@ -85,5 +111,5 @@ def test_service_main_writes_json(tmp_path, capsys):
     assert exit_code == 0
     assert out.exists()
     captured = capsys.readouterr().out
-    assert "execution backend x shard-count" in captured
+    assert "backend x shard-count x ingestion-mode" in captured
     assert str(out) in captured
