@@ -17,7 +17,8 @@ setup(
         "Reproduction of 'OMU: A Probabilistic 3D Occupancy Mapping "
         "Accelerator for Real-time OctoMap at the Edge' (DATE 2022), grown "
         "into a multi-session occupancy-mapping service layer with "
-        "pluggable shard execution backends"
+        "pluggable shard execution backends and an asyncio admission "
+        "front end"
     ),
     long_description=(
         "A from-scratch Python reproduction of the OMU occupancy-mapping "
@@ -39,7 +40,9 @@ setup(
     ],
     extras_require={
         # Everything CI's tier-1 + benchmark jobs need beyond install_requires.
-        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # pytest-asyncio is a convenience for asyncio-native test authoring;
+        # the bundled async suite also runs without it (plain asyncio.run).
+        "test": ["pytest", "hypothesis", "pytest-benchmark", "pytest-asyncio"],
         # CI's coverage job layers pytest-cov on top of the test extra.
         "cov": ["pytest-cov"],
         "lint": ["ruff"],

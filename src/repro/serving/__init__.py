@@ -28,7 +28,12 @@ ingestion pipeline and a cached query engine.
   map.
 * :mod:`repro.serving.manager` -- :class:`MapSessionManager`, the service
   front door.
-* :mod:`repro.serving.cli` -- the ``repro-serve`` demo driver.
+* :mod:`repro.serving.aio` -- :class:`AsyncMapService`, the asyncio
+  admission front end: bounded per-session admission queues with
+  backpressure, background flusher tasks driving ingestion off the event
+  loop, and non-blocking query coroutines.
+* :mod:`repro.serving.cli` -- the ``repro-serve`` demo driver (``--async``
+  runs the asyncio front end under a multi-client driver).
 
 Execution backends
 ------------------
@@ -98,6 +103,7 @@ Quickstart::
     manager.shutdown()  # releases worker processes for pool backends
 """
 
+from repro.serving.aio import AdmissionQueueFull, AsyncMapService, submit_interleaved_stream
 from repro.serving.backends import (
     BACKEND_NAMES,
     ApplyTicket,
@@ -138,7 +144,9 @@ from repro.serving.types import (
 )
 
 __all__ = [
+    "AdmissionQueueFull",
     "ApplyTicket",
+    "AsyncMapService",
     "BACKEND_NAMES",
     "BatchReport",
     "BoxOccupancySummary",
@@ -174,4 +182,5 @@ __all__ = [
     "ThreadPoolBackend",
     "make_backend",
     "make_scheduler",
+    "submit_interleaved_stream",
 ]

@@ -143,6 +143,16 @@ class IngestionPipeline:
         """Requests dispatched to the workers but not yet acknowledged."""
         return len(self._inflight.prepared.request_ids) if self._inflight else 0
 
+    @property
+    def has_inflight(self) -> bool:
+        """True when a dispatched batch still awaits its drain (pipelined).
+
+        Callers that drive the pipeline incrementally (the asyncio flusher)
+        use this to decide whether a final :meth:`flush_all` is needed to
+        drain the tail before the session can be considered quiescent.
+        """
+        return self._inflight is not None
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------

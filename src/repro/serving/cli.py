@@ -6,6 +6,12 @@ backend / scheduler / shard-count / batch-size, fires a few collision queries
 per session (twice, so the second round shows cache hits), and prints the
 per-session :class:`~repro.serving.stats.ServiceStats` tables.
 
+``--async`` swaps the synchronous loop for the asyncio admission front end
+(:class:`~repro.serving.aio.AsyncMapService`): every client becomes its own
+coroutine submitting into bounded per-session admission queues while
+background flusher tasks ingest concurrently, and the stats gain the
+admission-wait table.
+
 Run ``repro-serve --help`` for the knobs; the defaults finish in a few
 seconds on a laptop.
 """
@@ -13,10 +19,12 @@ seconds on a laptop.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional, Sequence
 
-from repro.datasets.streams import ClientSpec, generate_interleaved_stream
+from repro.datasets.streams import ClientSpec, StreamEvent, generate_interleaved_stream
+from repro.serving.aio import AsyncMapService, submit_interleaved_stream
 from repro.serving.backends import BACKEND_NAMES
 from repro.serving.manager import MapSessionManager
 from repro.serving.schedulers import SCHEDULER_POLICIES
@@ -78,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="collision-query rounds per session after ingestion (default 2)",
     )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "serve through the asyncio admission front end: one submitter "
+            "coroutine per client, bounded per-session admission queues with "
+            "backpressure, background flusher tasks ingesting off the event loop"
+        ),
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="async mode: admission queue depth per session (default 16)",
+    )
     return parser
 
 
@@ -86,6 +110,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.sessions < 1:
         print("error: --sessions must be at least 1", file=sys.stderr)
+        return 2
+    if args.use_async and args.queue_limit < 1:
+        print("error: --queue-limit must be at least 1", file=sys.stderr)
         return 2
 
     try:
@@ -118,11 +145,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     stream = generate_interleaved_stream(clients, seed=args.seed)
     mode = "pipelined" if args.pipeline else "blocking"
+    frontend = "async" if args.use_async else "sync"
     print(
         f"Streaming {len(stream)} scans from {len(clients)} clients "
-        f"({args.backend} backend, {mode} ingestion, {args.scheduler} scheduler, "
-        f"{args.shards} shards, batch {args.batch_size})"
+        f"({frontend} front end, {args.backend} backend, {mode} ingestion, "
+        f"{args.scheduler} scheduler, {args.shards} shards, batch {args.batch_size})"
     )
+
+    if args.use_async:
+        return asyncio.run(_async_main(manager, stream, args))
 
     try:
         for event in stream:
@@ -154,6 +185,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         # Pool backends hold worker processes/threads; always release them.
         manager.shutdown()
+    return 0
+
+
+async def _async_main(
+    manager: MapSessionManager, stream: Sequence[StreamEvent], args: argparse.Namespace
+) -> int:
+    """Drive the scan stream through the asyncio admission front end.
+
+    One coroutine per client submits that client's events in order (the
+    interleaving across clients is whatever the event loop schedules); the
+    service's flusher tasks ingest concurrently off the loop.  Sessions were
+    created eagerly by :func:`main`, so process-backend workers forked
+    before any executor thread existed.
+    """
+    async with AsyncMapService(manager, queue_limit=args.queue_limit) as service:
+        for session_id in manager.session_ids():
+            service.get_or_create_session(session_id)
+        await submit_interleaved_stream(service, stream)
+        await service.flush_all()
+        # Count every batch the background flushers dispatched, not just the
+        # residual tail the final flush drained.
+        batches = sum(s.batches_dispatched for s in manager.service_stats)
+        print(
+            f"Dispatched {batches} batches, "
+            f"{manager.service_stats.total_voxel_updates()} voxel updates "
+            f"({sum(s.admission_waits for s in manager.service_stats)} backpressured submits)"
+        )
+
+        for _ in range(max(0, args.queries)):
+            for session_id in manager.session_ids():
+                for point in QUERY_POINTS:
+                    await service.query(session_id, *point)
+        for session_id in manager.session_ids():
+            response = await service.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
+            hit = f"hit at {response.hit_point}" if response.hit else "no hit"
+            print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
+
+        print()
+        print(service.render_stats())
+        hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
+        print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
     return 0
 
 

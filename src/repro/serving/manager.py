@@ -54,10 +54,26 @@ class MapSessionManager:
     def get_or_create_session(
         self, session_id: str, config: Optional[SessionConfig] = None
     ) -> MapSession:
-        """Look up a session, creating it on first use."""
+        """Look up a session, creating it on first use.
+
+        Raises:
+            ValueError: when the session already exists and ``config`` names
+                *different* settings than it was created with.  Silently
+                returning the existing session would hand the caller a map
+                with a different resolution / shard count / backend than the
+                one it asked for; a caller that does not care passes
+                ``config=None``.
+        """
         if session_id not in self._sessions:
             return self.create_session(session_id, config)
-        return self._sessions[session_id]
+        session = self._sessions[session_id]
+        if config is not None and config != session.config:
+            raise ValueError(
+                f"session {session_id!r} already exists with a different "
+                f"config; close it first or pass config=None to adopt the "
+                f"existing settings (existing: {session.config}, requested: {config})"
+            )
+        return session
 
     def close_session(self, session_id: str) -> MapSession:
         """Remove a session from the service and return it to the caller.
@@ -101,6 +117,18 @@ class MapSessionManager:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
+    def stamp_request(self, request: ScanRequest) -> ScanRequest:
+        """Assign the next globally unique request id to a request.
+
+        Shared by the synchronous :meth:`submit` path and the asyncio front
+        end (:class:`repro.serving.aio.AsyncMapService`), which stamps at
+        admission time so receipts can be issued before the background
+        flusher ever touches the session.
+        """
+        stamped = request.with_request_id(self._next_request_id)
+        self._next_request_id += 1
+        return stamped
+
     def submit(self, request: ScanRequest, auto_create: bool = True) -> IngestReceipt:
         """Stamp a request id and admit the request into its session."""
         session = (
@@ -108,9 +136,7 @@ class MapSessionManager:
             if auto_create
             else self.get_session(request.session_id)
         )
-        stamped = request.with_request_id(self._next_request_id)
-        self._next_request_id += 1
-        return session.submit(stamped)
+        return session.submit(self.stamp_request(request))
 
     def flush(self, session_id: str) -> Optional[BatchReport]:
         """Dispatch one batch of one session."""
@@ -135,7 +161,13 @@ class MapSessionManager:
         receipt = self.submit(request, auto_create=auto_create)
         session = self.get_session(request.session_id)
         reports = session.flush_all()
-        assert reports, f"submit produced receipt {receipt} but flush dispatched nothing"
+        if not reports:
+            # Not an assert: under ``python -O`` an assert vanishes and the
+            # caller would get an IndexError off the empty list instead of a
+            # diagnosis of the broken dispatch invariant.
+            raise RuntimeError(
+                f"submit produced receipt {receipt} but flush dispatched nothing"
+            )
         return reports[-1]
 
     # ------------------------------------------------------------------

@@ -201,6 +201,13 @@ class QueryEngine:
                     hit=False, hit_point=None, distance=0.0, voxels_traversed=0, cache_hits=0
                 )
             end = clipped
+        # The distance a no-hit ray actually traversed: max_range for a ray
+        # that fit inside the addressable volume, the clipped segment length
+        # otherwise.  Reporting max_range for a clipped ray would claim free
+        # space beyond the volume boundary that was never inspected.
+        traversed_range = math.sqrt(
+            sum((end[axis] - origin[axis]) ** 2 for axis in range(3))
+        )
 
         hits_before = self.cache.stats.hits
         traversed = 0
@@ -228,7 +235,7 @@ class QueryEngine:
         return RaycastResponse(
             hit=False,
             hit_point=None,
-            distance=max_range,
+            distance=traversed_range,
             voxels_traversed=traversed,
             cache_hits=self.cache.stats.hits - hits_before,
         )

@@ -65,6 +65,11 @@ class SessionConfig:
             PE count, fixed point, ...).
         default_max_range: beam truncation applied when a request does not
             set its own.
+        admission_queue_limit: depth of the bounded per-session admission
+            queue of the asyncio front end (:mod:`repro.serving.aio`).  A
+            submit against a full queue either waits (backpressure) or is
+            rejected, never grows the queue without bound; the synchronous
+            path ignores this knob.
     """
 
     num_shards: int = 2
@@ -77,8 +82,11 @@ class SessionConfig:
     cache_capacity: int = 4096
     accelerator: OMUConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     default_max_range: float = -1.0
+    admission_queue_limit: int = 64
 
     def __post_init__(self) -> None:
+        if self.admission_queue_limit < 1:
+            raise ValueError("admission_queue_limit must be at least 1")
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if self.batch_size < 1:

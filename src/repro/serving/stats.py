@@ -51,6 +51,17 @@ class SessionStats:
     pipelined_batches: int = 0
     shard_updates: List[int] = field(default_factory=list)
     queue_high_water: int = 0
+    # --- async admission (filled by repro.serving.aio) ---
+    #: requests accepted through the asyncio front end.
+    async_submits: int = 0
+    #: submits that found their admission queue full and had to wait.
+    admission_waits: int = 0
+    #: total time submitters spent blocked on a full admission queue.
+    admission_wait_seconds: float = 0.0
+    #: submits rejected outright (``wait=False`` against a full queue).
+    queue_rejects: int = 0
+    #: deepest the bounded asyncio admission queue ever got.
+    admission_queue_high_water: int = 0
     # --- queries ---
     point_queries: int = 0
     batch_queries: int = 0
@@ -139,6 +150,13 @@ class SessionStats:
             return 0.0
         return self.voxel_updates / self.ingest_wall_seconds
 
+    @property
+    def mean_admission_wait_seconds(self) -> float:
+        """Mean time a backpressured async submit waited for queue space."""
+        if self.admission_waits == 0:
+            return 0.0
+        return self.admission_wait_seconds / self.admission_waits
+
 
 class ServiceStats:
     """Aggregated view over every session's counter block."""
@@ -162,6 +180,15 @@ class ServiceStats:
         "Cache misses",
         "Hit rate (%)",
         "Stale drops",
+    )
+    ADMISSION_HEADERS: Tuple[str, ...] = (
+        "Session",
+        "Async submits",
+        "Waits",
+        "Wait (s)",
+        "Mean wait (ms)",
+        "Rejects",
+        "Queue high-water",
     )
     BACKEND_HEADERS: Tuple[str, ...] = (
         "Session",
@@ -252,6 +279,22 @@ class ServiceStats:
             for stats in sorted(self, key=lambda s: s.session_id)
         ]
 
+    def admission_rows(self) -> List[Tuple[object, ...]]:
+        """Table rows of the asyncio admission counters (async sessions only)."""
+        return [
+            (
+                stats.session_id,
+                stats.async_submits,
+                stats.admission_waits,
+                stats.admission_wait_seconds,
+                1e3 * stats.mean_admission_wait_seconds,
+                stats.queue_rejects,
+                stats.admission_queue_high_water,
+            )
+            for stats in sorted(self, key=lambda s: s.session_id)
+            if stats.async_submits or stats.queue_rejects
+        ]
+
     def backend_rows(self) -> List[Tuple[object, ...]]:
         """Table rows of the execution-backend counters."""
         return [
@@ -283,4 +326,12 @@ class ServiceStats:
             self.BACKEND_HEADERS,
             self.backend_rows(),
         )
-        return ingest + "\n\n" + query + "\n\n" + backend
+        block = ingest + "\n\n" + query + "\n\n" + backend
+        admission = self.admission_rows()
+        if admission:
+            block += "\n\n" + render_table(
+                "Serving: async admission per session",
+                self.ADMISSION_HEADERS,
+                admission,
+            )
+        return block

@@ -5,7 +5,13 @@ from __future__ import annotations
 import json
 
 from repro.analysis import run_service_workload, service_scaling_experiment
-from repro.analysis.service import backend_scaling_experiment, main, write_benchmark_json
+from repro.analysis.service import (
+    backend_scaling_experiment,
+    frontend_scaling_experiment,
+    main,
+    run_async_service_workload,
+    write_benchmark_json,
+)
 from repro.datasets.streams import ClientSpec
 
 TINY_CLIENTS = (
@@ -81,6 +87,45 @@ def test_backend_scaling_experiment_can_pin_one_mode():
     assert records[0]["Pipeline gain"] == "n/a"
 
 
+def test_run_async_service_workload_matches_sync_updates():
+    sync_manager = run_service_workload(TINY_CLIENTS, num_shards=2, query_rounds=0)
+    async_manager, latencies = run_async_service_workload(TINY_CLIENTS, num_shards=2)
+    assert (
+        async_manager.service_stats.total_voxel_updates()
+        == sync_manager.service_stats.total_voxel_updates()
+    )
+    assert len(latencies) == sum(spec.num_scans for spec in TINY_CLIENTS)
+    assert all(latency >= 0.0 for latency in latencies)
+    stats = list(async_manager.service_stats)
+    assert sum(block.async_submits for block in stats) == len(latencies)
+
+
+def test_frontend_scaling_experiment_covers_sync_vs_async():
+    result = frontend_scaling_experiment(
+        client_counts=(1, 2), scans_per_client=1, num_shards=1, batch_size=1
+    )
+    assert result.experiment_id == "frontend_scaling"
+    # {sync, async} x client counts
+    assert len(result.rows) == 4
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    records = result.records()
+    assert {r["Front end"] for r in records} == {"sync", "async"}
+    assert {r["Clients"] for r in records} == {1, 2}
+    # Same stream -> same maps -> same dispatched updates per client count.
+    by_count = {}
+    for r in records:
+        by_count.setdefault(r["Clients"], set()).add(r["Updates"])
+    assert all(len(updates) == 1 for updates in by_count.values())
+    # The headline claim: async admission does not hold the client for the
+    # whole ingest path.  Sync "admit" latency *is* ingestion; async stays
+    # orders of magnitude below it even with concurrent clients.
+    for count in (1, 2):
+        sync_row = next(r for r in records if r["Front end"] == "sync" and r["Clients"] == count)
+        async_row = next(r for r in records if r["Front end"] == "async" and r["Clients"] == count)
+        assert async_row["Mean admit (ms)"] < sync_row["Mean admit (ms)"]
+    assert "sync vs async" in result.title
+
+
 def test_write_benchmark_json_round_trips(tmp_path):
     result = backend_scaling_experiment(TINY_CLIENTS, backends=("inline",), shard_counts=(1,))
     path = write_benchmark_json(result, tmp_path / "BENCH_serving.json")
@@ -97,6 +142,22 @@ def test_write_benchmark_json_round_trips(tmp_path):
         assert record["Mode"] in ("blocking", "pipelined")
 
 
+def test_write_benchmark_json_carries_extra_experiments(tmp_path):
+    primary = backend_scaling_experiment(TINY_CLIENTS, backends=("inline",), shard_counts=(1,))
+    extra = frontend_scaling_experiment(client_counts=(1,), scans_per_client=1, num_shards=1)
+    path = write_benchmark_json(primary, tmp_path / "BENCH_serving.json", extra_results=(extra,))
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    # The established top-level schema still describes the primary result...
+    assert payload["experiment_id"] == "backend_scaling"
+    assert payload["rows"] == [list(row) for row in primary.rows]
+    # ... and the experiments list carries primary + extras by id.
+    ids = [entry["experiment_id"] for entry in payload["experiments"]]
+    assert ids == ["backend_scaling", "frontend_scaling"]
+    frontend = payload["experiments"][1]
+    assert frontend["records"] == extra.records()
+    assert {r["Front end"] for r in frontend["records"]} == {"sync", "async"}
+
+
 def test_service_main_writes_json(tmp_path, capsys):
     out = tmp_path / "BENCH_serving.json"
     exit_code = main(
@@ -105,6 +166,7 @@ def test_service_main_writes_json(tmp_path, capsys):
             "--backends", "inline",
             "--shards", "1",
             "--scans", "1",
+            "--clients", "1",
             "--skip-scheduler-sweep",
         ]
     )
@@ -112,4 +174,10 @@ def test_service_main_writes_json(tmp_path, capsys):
     assert out.exists()
     captured = capsys.readouterr().out
     assert "backend x shard-count x ingestion-mode" in captured
+    assert "admission front end (sync vs async)" in captured
     assert str(out) in captured
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert [entry["experiment_id"] for entry in payload["experiments"]] == [
+        "backend_scaling",
+        "frontend_scaling",
+    ]

@@ -58,6 +58,61 @@ def test_capacity_validation():
         GenerationLRUCache(capacity=0)
 
 
+def test_eviction_counter_accounts_every_overflow():
+    cache = GenerationLRUCache(capacity=2)
+    def generation(shard_id):
+        return 0
+
+    for index in range(5):
+        cache.put(f"key-{index}", 0, 0, index)
+    assert cache.stats.puts == 5
+    assert cache.stats.evictions == 3
+    assert len(cache) == 2
+    # Refreshing an existing key is not an insertion: no eviction.
+    cache.put("key-4", 0, 0, 99)
+    assert cache.stats.evictions == 3
+    assert cache.get("key-4", generation) == 99
+
+
+def test_live_entries_tracks_per_shard_staleness_without_touching_lru():
+    cache = GenerationLRUCache(capacity=4)
+    generations = {0: 0, 1: 0}
+    cache.put("a", 0, 0, "a")
+    cache.put("b", 1, 0, "b")
+    cache.put("c", 0, 0, "c")
+    assert cache.live_entries(generations.__getitem__) == 3
+
+    generations[0] += 1  # shard 0's two entries go stale
+    assert cache.live_entries(generations.__getitem__) == 1
+    # live_entries neither evicted the stale entries nor counted lookups.
+    assert len(cache) == 3
+    assert cache.stats.lookups == 0
+
+    # A put for the new generation revives "a"; refreshing "b" leaves the
+    # stale "c" entry as the LRU victim once capacity overflows.
+    cache.put("a", 0, 1, "a2")
+    assert cache.get("b", generations.__getitem__) == "b"
+    cache.put("d", 1, 0, "d")
+    cache.put("e", 1, 0, "e")
+    assert cache.stats.evictions == 1
+    assert cache.live_entries(generations.__getitem__) == 4
+
+
+def test_clear_drops_entries_but_preserves_counters():
+    cache = GenerationLRUCache(capacity=4)
+    def generation(shard_id):
+        return 0
+
+    cache.put("a", 0, 0, 1)
+    assert cache.get("a", generation) == 1
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+    assert cache.stats.puts == 1
+    assert cache.get("a", generation) is None
+    assert cache.stats.misses == 1
+
+
 # ---------------------------------------------------------------------------
 # Integration level: the cache inside a live session
 # ---------------------------------------------------------------------------

@@ -13,6 +13,8 @@ def test_parser_defaults():
     assert args.scheduler == "fifo"
     assert args.shards == 2
     assert args.backend == "inline"
+    assert args.use_async is False
+    assert args.queue_limit == 16
 
 
 def test_parser_rejects_unknown_scheduler():
@@ -85,3 +87,28 @@ def test_main_runs_and_prints_stats(capsys):
 def test_main_rejects_zero_sessions(capsys):
     assert main(["--sessions", "0"]) == 2
     assert "at least 1" in capsys.readouterr().err
+
+
+def test_main_runs_async_front_end(capsys):
+    exit_code = main(
+        [
+            "--sessions", "2",
+            "--scans", "2",
+            "--shards", "2",
+            "--batch-size", "2",
+            "--async",
+            "--queue-limit", "4",
+            "--queries", "1",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "async front end" in captured
+    assert "Serving: async admission per session" in captured
+    assert "backpressured submits" in captured
+    assert "Overall cache hit rate" in captured
+
+
+def test_main_rejects_zero_queue_limit(capsys):
+    assert main(["--async", "--queue-limit", "0", "--scans", "1", "--sessions", "1"]) == 2
+    assert "--queue-limit" in capsys.readouterr().err

@@ -86,6 +86,34 @@ def test_raycast_agrees_with_software_cast(warm_session):
             assert service.hit_point[axis] == pytest.approx(software.end_point[axis], abs=0.21)
 
 
+def test_raycast_clipped_miss_reports_traversed_distance(warm_session):
+    """Regression: a no-hit ray clipped at the addressable-volume boundary
+    used to report ``distance=max_range``, claiming free space beyond the
+    volume that was never inspected."""
+    from repro.octomap.scan_insertion import clip_segment_to_volume
+
+    converter = warm_session.router.converter
+    limit = converter.max_coordinate
+    origin = (limit - 10.0, 0.0, 0.2)  # near the +x boundary, unobserved
+    max_range = 20.0  # reaches well past the boundary
+    end = (origin[0] + max_range, origin[1], origin[2])
+    expected = clip_segment_to_volume(converter, origin, end)[0] - origin[0]
+    assert 0.0 < expected < max_range, "the ray really was clipped"
+
+    response = warm_session.raycast(origin, (1.0, 0.0, 0.0), max_range)
+    assert not response.hit
+    # The traversable segment ends at the clipped boundary, not at max_range.
+    assert response.distance == pytest.approx(expected, rel=1e-6)
+    assert response.distance < max_range
+    # Consistency: the reported distance covers the voxels actually walked.
+    assert response.voxels_traversed <= math.ceil(response.distance / converter.resolution) + 2
+
+    # An unclipped miss still reports the full range (pinned elsewhere too).
+    inside = warm_session.raycast((0.0, 0.0, 0.2), (0.0, 0.0, 1.0), 1.0)
+    assert not inside.hit
+    assert inside.distance == pytest.approx(1.0)
+
+
 def test_raycast_from_outside_the_volume_is_a_clean_miss(warm_session):
     limit = warm_session.router.converter.max_coordinate
     response = warm_session.raycast((limit + 10.0, 0.0, 0.0), (-1.0, 0.0, 0.0), 5.0)

@@ -93,3 +93,49 @@ def test_fifo_compaction_keeps_order():
     for request_id in range(200, 220):
         scheduler.push(_request(request_id))
     assert _drain(scheduler) == list(range(150, 220))
+
+
+def test_fifo_len_stays_correct_across_the_compaction_boundary():
+    """``len()`` must agree with the logical queue depth on both sides of
+    the lazy-compaction trigger (head > 64 and head * 2 >= backing length)."""
+    scheduler = make_scheduler("fifo")
+    for request_id in range(130):
+        scheduler.push(_request(request_id))
+    # Pop up to (and across) the compaction trigger -- head > 64 and
+    # head * 2 >= backing length, i.e. inside the 65th pop -- checking len
+    # at every step.
+    for popped in range(1, 66):
+        assert scheduler.pop().request_id == popped - 1
+        assert len(scheduler) == 130 - popped
+    assert scheduler._head == 0, "lazy compaction ran on the 65th pop"
+    # Order and length stay correct after the backing list was rewritten.
+    assert scheduler.pop().request_id == 65
+    assert len(scheduler) == 64
+    assert _drain(scheduler) == list(range(66, 130))
+    assert len(scheduler) == 0
+
+
+def test_deadline_mixed_inf_and_finite_keeps_fifo_among_equals():
+    """Requests without a deadline (inf) sort after every finite deadline
+    but keep arrival order among themselves, exactly like finite ties."""
+    scheduler = make_scheduler("deadline")
+    scheduler.push(_request(0))  # inf
+    scheduler.push(_request(1, deadline_s=5.0))
+    scheduler.push(_request(2))  # inf
+    scheduler.push(_request(3, deadline_s=5.0))
+    scheduler.push(_request(4))  # inf
+    scheduler.push(_request(5, deadline_s=1.0))
+    assert _drain(scheduler) == [5, 1, 3, 0, 2, 4]
+
+
+def test_pop_from_empty_raises_for_every_policy():
+    for policy in SCHEDULER_POLICIES:
+        scheduler = make_scheduler(policy)
+        with pytest.raises(IndexError, match="empty"):
+            scheduler.pop()
+        # Still empty and still usable after the failed pop.
+        assert len(scheduler) == 0
+        scheduler.push(_request(0))
+        assert scheduler.pop().request_id == 0
+        with pytest.raises(IndexError, match="empty"):
+            scheduler.pop()

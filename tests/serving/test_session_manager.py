@@ -50,6 +50,34 @@ def test_session_lifecycle():
     assert len(manager.service_stats) == 0
 
 
+def test_get_or_create_rejects_conflicting_config():
+    """Regression: a caller-supplied config used to be silently discarded
+    when the session already existed, handing back a session with different
+    settings than requested."""
+    manager = MapSessionManager()
+    config = SessionConfig(num_shards=2, batch_size=4)
+    session = manager.get_or_create_session("tenant", config)
+    # Same config (equal, not identical) and config=None both adopt the
+    # existing session.
+    assert manager.get_or_create_session("tenant", SessionConfig(num_shards=2, batch_size=4)) is session
+    assert manager.get_or_create_session("tenant") is session
+    with pytest.raises(ValueError, match="different"):
+        manager.get_or_create_session("tenant", SessionConfig(num_shards=4, batch_size=4))
+    with pytest.raises(ValueError, match="different"):
+        manager.get_or_create_session("tenant", config.with_backend("thread"))
+
+
+def test_ingest_broken_dispatch_surfaces_as_runtime_error(small_scans, monkeypatch):
+    """Regression: the submit-dispatched-nothing postcondition was a bare
+    assert, so under ``python -O`` a broken flush fell through to an
+    IndexError on the empty report list instead of a diagnosis."""
+    manager = MapSessionManager(SessionConfig(num_shards=1, batch_size=2))
+    session = manager.get_or_create_session("tenant")
+    monkeypatch.setattr(session, "flush_all", lambda: [])
+    with pytest.raises(RuntimeError, match="dispatched nothing"):
+        manager.ingest(ScanRequest.from_scan_node("tenant", small_scans[0]))
+
+
 def test_submit_auto_create_toggle(small_scans):
     manager = MapSessionManager()
     with pytest.raises(KeyError):
