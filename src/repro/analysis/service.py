@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_SERVICE_CLIENTS",
     "backend_scaling_experiment",
     "frontend_scaling_experiment",
+    "http_frontend_experiment",
     "main",
     "run_async_service_workload",
     "run_service_workload",
@@ -327,6 +328,152 @@ def _frontend_row(
         sum(block.queue_rejects for block in stats),
         wall,
         updates / wall if wall > 0 else 0.0,
+    )
+
+
+def http_frontend_experiment(
+    client_counts: Sequence[int] = (1, 2),
+    scans_per_client: int = 2,
+    num_shards: int = 2,
+    batch_size: int = 2,
+    seed: int = 0,
+    queue_limit: int = 8,
+) -> ExperimentResult:
+    """Price the network hop: in-process async admission vs HTTP-over-localhost.
+
+    Same workload, same :class:`~repro.serving.aio.AsyncMapService`
+    underneath -- the only difference per row pair is whether a submit is an
+    awaited coroutine call or a full HTTP request (connection, JSON codec,
+    framing, loopback round trip) against :class:`~repro.serving.http.
+    server.HttpMapServer`.  The gap between the two "Mean admit" columns is
+    therefore the per-request cost of the REST front end, the number a
+    deployment weighs against the isolation it buys.  The HTTP client opens
+    one connection per request on purpose: that is the honest worst case,
+    and what the correctness tests drive.
+    """
+    import asyncio
+    import time
+
+    from repro.serving.aio import AsyncMapService
+    from repro.serving.http.client import MapServiceClient
+    from repro.serving.http.server import HttpMapServer
+    from repro.serving.session import SessionConfig
+
+    headers = (
+        "Transport",
+        "Clients",
+        "Scans",
+        "Updates",
+        "Mean admit (ms)",
+        "p99-ish admit (ms)",
+        "Max admit (ms)",
+        "Submit wall (s)",
+    )
+    rows: List[Tuple[object, ...]] = []
+    for count in client_counts:
+        clients = tuple(
+            ClientSpec(
+                client_id=f"client-{index}",
+                session_id="bench-map",
+                scene="corridor",
+                num_scans=scans_per_client,
+            )
+            for index in range(count)
+        )
+
+        # --- in-process asyncio front end (no network) -------------------
+        manager, latencies = run_async_service_workload(
+            clients,
+            num_shards=num_shards,
+            batch_size=batch_size,
+            seed=seed,
+            queue_limit=queue_limit,
+        )
+        rows.append(
+            _http_row("in-process", count, manager, latencies, sum(latencies))
+        )
+
+        # --- the same submits as HTTP requests over localhost -------------
+        config = SessionConfig(
+            num_shards=num_shards, batch_size=batch_size
+        ).with_resolution(0.2)
+        events = generate_interleaved_stream(clients, seed=seed)
+        http_latencies: List[float] = []
+
+        async def drive(config=config, events=events, latencies=http_latencies):
+            async with AsyncMapService(default_config=config) as service:
+                async with HttpMapServer(service, port=0) as server:
+                    client = MapServiceClient(*server.address)
+                    await client.create_session("bench-map")
+
+                    per_client: dict = {}
+                    for event in events:
+                        per_client.setdefault(event.client_id, []).append(event)
+
+                    async def run_client(client_events):
+                        for event in client_events:
+                            cloud = event.scan.world_cloud()
+                            origin = event.scan.origin()
+                            started = time.perf_counter()
+                            await client.submit_scan(
+                                "bench-map",
+                                cloud.points.tolist(),
+                                [float(origin[0]), float(origin[1]), float(origin[2])],
+                                max_range=event.max_range_m,
+                                client_id=event.client_id,
+                            )
+                            latencies.append(time.perf_counter() - started)
+                            await asyncio.sleep(0)
+
+                    await asyncio.gather(
+                        *(run_client(ev) for ev in per_client.values())
+                    )
+                    await client.flush("bench-map")
+                return service.manager
+
+        http_manager = asyncio.run(drive())
+        rows.append(
+            _http_row("http", count, http_manager, http_latencies, sum(http_latencies))
+        )
+
+    result = ExperimentResult(
+        experiment_id="http_frontend",
+        title="Serving layer: admission latency, in-process async vs HTTP (localhost)",
+        headers=headers,
+        rows=rows,
+    )
+    result.rendered = render_table(result.title, headers, rows)
+    result.notes = (
+        "Identical workload and service; the HTTP rows add one REST request "
+        "per submit (new connection, JSON encode/decode, HTTP framing, "
+        "loopback TCP).  The admit-latency gap is the per-request price of "
+        "the network front end; ingestion itself is unchanged (same batches, "
+        "same update streams), so the Updates columns match row pairs."
+    )
+    return result
+
+
+def _http_row(
+    transport: str,
+    client_count: int,
+    manager,
+    latencies: Sequence[float],
+    submit_wall: float,
+) -> Tuple[object, ...]:
+    """One row of the HTTP-vs-in-process sweep."""
+    stats = list(manager.service_stats)
+    ordered = sorted(latencies)
+    # Small samples: take the latency at the 99th-percentile rank (>= p99).
+    p99ish = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))] if ordered else 0.0
+    return (
+        transport,
+        client_count,
+        sum(block.scans_ingested for block in stats),
+        manager.service_stats.total_voxel_updates(),
+        1e3 * (sum(latencies) / len(latencies) if latencies else 0.0),
+        1e3 * p99ish,
+        1e3 * max(latencies, default=0.0),
+        submit_wall,
     )
 
 
@@ -631,6 +778,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the sync-vs-async admission front-end sweep",
     )
     parser.add_argument(
+        "--skip-http-sweep",
+        action="store_true",
+        help="skip the in-process-vs-HTTP admission-latency sweep",
+    )
+    parser.add_argument(
         "--clients",
         nargs="+",
         type=int,
@@ -662,6 +814,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(frontend_result.rendered)
         print(frontend_result.notes)
+    if not args.skip_http_sweep:
+        http_result = http_frontend_experiment(
+            client_counts=(1, 2), scans_per_client=max(1, args.scans // 3)
+        )
+        extra_results.append(http_result)
+        print()
+        print(http_result.rendered)
+        print(http_result.notes)
     if not args.skip_scheduler_sweep:
         scheduler_result = service_scaling_experiment()
         print()

@@ -32,8 +32,12 @@ ingestion pipeline and a cached query engine.
   admission front end: bounded per-session admission queues with
   backpressure, background flusher tasks driving ingestion off the event
   loop, and non-blocking query coroutines.
+* :mod:`repro.serving.http` -- the network API: a stdlib-asyncio HTTP/1.1
+  server over :class:`AsyncMapService` (REST routes, resumable chunked
+  uploads, background jobs with polling) plus a small client.
 * :mod:`repro.serving.cli` -- the ``repro-serve`` demo driver (``--async``
-  runs the asyncio front end under a multi-client driver).
+  runs the asyncio front end under a multi-client driver; ``--http`` serves
+  the network API until SIGINT/SIGTERM).
 
 Execution backends
 ------------------
@@ -115,6 +119,7 @@ from repro.serving.backends import (
     make_backend,
 )
 from repro.serving.batching import IngestionPipeline
+from repro.serving.http import HttpMapServer, MapServiceClient
 from repro.serving.cache import CacheStats, GenerationLRUCache
 from repro.serving.manager import MapSessionManager
 from repro.serving.query_engine import QueryEngine
@@ -131,6 +136,7 @@ from repro.serving.sharding import MapShardWorker, ShardRouter
 from repro.serving.stats import ServiceStats, SessionStats
 from repro.serving.types import (
     BatchReport,
+    BboxChunk,
     BoxOccupancySummary,
     IngestReceipt,
     QueryResponse,
@@ -149,17 +155,20 @@ __all__ = [
     "AsyncMapService",
     "BACKEND_NAMES",
     "BatchReport",
+    "BboxChunk",
     "BoxOccupancySummary",
     "CacheStats",
     "DeadlineScheduler",
     "FifoScheduler",
     "GenerationLRUCache",
+    "HttpMapServer",
     "IngestReceipt",
     "IngestScheduler",
     "IngestionPipeline",
     "InlineBackend",
     "MapSession",
     "MapSessionManager",
+    "MapServiceClient",
     "MapShardWorker",
     "PriorityScheduler",
     "ProcessPoolBackend",

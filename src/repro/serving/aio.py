@@ -61,13 +61,14 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import AsyncIterator, Dict, List, Optional, Sequence
 
 from repro.serving.manager import MapSessionManager
 from repro.serving.session import MapSession, SessionConfig
 from repro.serving.stats import ServiceStats
 from repro.serving.types import (
     BatchReport,
+    BboxChunk,
     BoxOccupancySummary,
     IngestReceipt,
     QueryResponse,
@@ -465,6 +466,96 @@ class AsyncMapService:
         return await self._run_locked(
             entry, entry.session.raycast, origin, direction, max_range
         )
+
+    async def stream_bbox(
+        self,
+        session_id: str,
+        minimum: Sequence[float],
+        maximum: Sequence[float],
+        *,
+        chunk_voxels: int = 1024,
+        include_voxels: bool = True,
+    ) -> AsyncIterator[BboxChunk]:
+        """Stream a bounding-box sweep as bounded-size classified chunks.
+
+        The async-generator variant of :meth:`query_bbox`: each
+        :class:`~repro.serving.types.BboxChunk` is computed on the executor
+        under the session lock, but the lock is *released between chunks*, so
+        a long sweep interleaves with ingestion instead of stalling it (and a
+        network front end can relay each chunk as one chunked-transfer frame
+        without materialising the whole box).  Consequence: unlike
+        :meth:`query_bbox`, a streamed sweep is not a point-in-time snapshot
+        -- chunks observe any flushes that landed between them, though each
+        chunk is individually consistent (the backend read barriers hold).
+
+        Validation (inverted box, the ``max_box_voxels`` guardrail) raises
+        before the first chunk is yielded.
+        """
+        self._ensure_open()
+        entry = self._entry(session_id)
+        iterator = entry.session.query_engine.iter_bbox(
+            minimum, maximum, chunk_voxels=chunk_voxels, include_voxels=include_voxels
+        )
+        sentinel = object()
+        while True:
+            self._ensure_open()
+            chunk = await self._run_locked(entry, next, iterator, sentinel)
+            if chunk is sentinel:
+                return
+            yield chunk
+
+    async def export_octree(self, session_id: str):
+        """Stitch the session's shards into one software octree, off the loop.
+
+        Runs :meth:`MapSession.export_octree` on the executor under the
+        session lock; callers that need every *admitted* request in the
+        export should :meth:`flush` first (the export itself only barriers
+        on work already dispatched to the backend).
+        """
+        self._ensure_open()
+        entry = self._entry(session_id)
+        return await self._run_locked(entry, entry.session.export_octree)
+
+    async def close_session(self, session_id: str, drain: bool = True) -> None:
+        """Retire one session: stop its flusher and release its backend.
+
+        With ``drain=True`` (default) the admission queue is flushed into
+        the map first; ``drain=False`` abandons queued requests.  The
+        session is removed from the manager (its stats stop aggregating) and
+        its execution backend is closed -- no orphan task, thread or worker
+        process survives.  Unknown sessions raise ``KeyError``.
+        """
+        self._ensure_open()
+        if session_id not in self._entries:
+            # Known to the manager but never touched asynchronously: retire
+            # the synchronous way.  (Raises KeyError when fully unknown.)
+            session = self.manager.close_session(session_id)
+            session.close()
+            return
+        entry = self._entries[session_id]
+        if drain and entry.failure is None:
+            try:
+                await self.flush(session_id)
+            except RuntimeError:
+                # Fail-stopped while draining: nothing more can reach the
+                # map; proceed to teardown.
+                pass
+        entry.flusher.cancel()
+        await asyncio.gather(entry.flusher, return_exceptions=True)
+        if entry.failure is None:
+            # A submitter still parked on a full queue must surface an error
+            # when its put lands in the retired queue, not receive a receipt
+            # for a request that can never be ingested.
+            entry.failure = RuntimeError(f"session {session_id!r} was closed")
+        while True:  # wake any submitter parked on a full queue
+            try:
+                entry.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        del self._entries[session_id]
+        session = self.manager.close_session(session_id)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, session.close)
 
     # ------------------------------------------------------------------
     # Introspection

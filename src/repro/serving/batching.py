@@ -39,6 +39,7 @@ preparing the next, so it may consume up to ``2 * batch_size`` requests.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -77,6 +78,8 @@ class _PreparedBatch:
     #: True when the front end ran while a previous batch was still in
     #: flight on the workers -- the overlap the pipelined mode exists for.
     overlapped: bool
+    #: requests already past their deadline when popped for this batch.
+    deadline_misses: int
 
 
 @dataclass
@@ -215,8 +218,15 @@ class IngestionPipeline:
         scans = points = rays = visits = 0
         converter = self.router.converter
         dda_counters = OperationCounters()
+        deadline_misses = 0
         while self.scheduler and len(request_ids) < budget:
             request = self.scheduler.pop()
+            # Missed-deadline accounting: a finite deadline (time.monotonic
+            # clock) that has passed by the time the scheduler hands the
+            # request over counts as a miss, whatever the policy -- the
+            # deadline scheduler minimises this figure, the others expose it.
+            if request.deadline_s != math.inf and request.deadline_s < time.monotonic():
+                deadline_misses += 1
             request_ids.append(request.request_id)
             scans += 1
             points += len(request.cloud)
@@ -258,6 +268,7 @@ class IngestionPipeline:
             batches=batches,
             frontend_seconds=time.perf_counter() - started,
             overlapped=overlapped,
+            deadline_misses=deadline_misses,
         )
 
     def _dispatch(self, prepared: _PreparedBatch) -> _InFlightBatch:
@@ -298,6 +309,7 @@ class IngestionPipeline:
             pipelined=self.pipelined,
             overlapped=prepared.overlapped,
             backend=self.backend.name,
+            deadline_misses=prepared.deadline_misses,
         )
         self.reports.append(report)
         self._account(report, prepared.points)
@@ -320,6 +332,7 @@ class IngestionPipeline:
         self.stats.ray_voxels_visited += report.ray_voxels_visited
         self.stats.voxel_updates += report.voxel_updates
         self.stats.duplicates_removed += report.duplicates_removed
+        self.stats.deadline_misses += report.deadline_misses
         self.stats.batches_dispatched += 1
         self.stats.modelled_ingest_cycles += report.modelled_cycles
         self.stats.ingest_wall_seconds += report.wall_seconds

@@ -12,7 +12,13 @@ coroutine submitting into bounded per-session admission queues while
 background flusher tasks ingest concurrently, and the stats gain the
 admission-wait table.
 
-Run ``repro-serve --help`` for the knobs; the defaults finish in a few
+``--http`` turns the demo into a long-running server: the network API of
+:mod:`repro.serving.http` on ``--host``/``--port``, no generated workload,
+serving until SIGINT/SIGTERM.  Both the async demo and the HTTP server shut
+down gracefully on those signals -- admitted scans are drained into their
+maps (``AsyncMapService.close(drain=True)``) before the process exits 0.
+
+Run ``repro-serve --help`` for the knobs; the demo defaults finish in a few
 seconds on a laptop.
 """
 
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from typing import List, Optional, Sequence
 
@@ -102,7 +109,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="async mode: admission queue depth per session (default 16)",
     )
+    parser.add_argument(
+        "--http",
+        dest="use_http",
+        action="store_true",
+        help=(
+            "serve the network API (REST + chunked uploads + background jobs) "
+            "instead of running the demo workload; runs until SIGINT/SIGTERM, "
+            "then drains admitted scans and exits 0"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="HTTP mode: bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="HTTP mode: bind port; 0 picks a free one (default 8080)",
+    )
     return parser
+
+
+def _install_signal_handlers(stop: "asyncio.Event") -> List[int]:
+    """Route SIGINT/SIGTERM into ``stop`` (returns the signals hooked).
+
+    Registered through the running loop so the handler executes as loop
+    work, where setting the event is safe; the caller restores the default
+    disposition afterwards so a second signal can still kill a wedged
+    shutdown the hard way.
+    """
+    loop = asyncio.get_running_loop()
+    hooked: List[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            continue
+        hooked.append(signum)
+    return hooked
+
+
+def _remove_signal_handlers(hooked: List[int]) -> None:
+    loop = asyncio.get_running_loop()
+    for signum in hooked:
+        loop.remove_signal_handler(signum)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -114,6 +167,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.use_async and args.queue_limit < 1:
         print("error: --queue-limit must be at least 1", file=sys.stderr)
         return 2
+    if args.use_http and not 0 <= args.port <= 65535:
+        print("error: --port must be in [0, 65535]", file=sys.stderr)
+        return 2
 
     try:
         config = SessionConfig(
@@ -124,6 +180,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scheduler_policy=args.scheduler,
             batch_size=args.batch_size,
         ).with_resolution(args.resolution)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.use_http:
+        return asyncio.run(_http_main(config, args))
+
+    try:
         scenes = ("corridor", "campus", "college")
         clients: List[ClientSpec] = [
             ClientSpec(
@@ -198,11 +262,30 @@ async def _async_main(
     service's flusher tasks ingest concurrently off the loop.  Sessions were
     created eagerly by :func:`main`, so process-backend workers forked
     before any executor thread existed.
+
+    SIGINT/SIGTERM shut down gracefully: the submitters stop, admitted scans
+    are drained into their maps (``close(drain=True)``), and the process
+    exits 0 with the stats of whatever was ingested.
     """
+    stop = asyncio.Event()
+    hooked = _install_signal_handlers(stop)
     async with AsyncMapService(manager, queue_limit=args.queue_limit) as service:
-        for session_id in manager.session_ids():
-            service.get_or_create_session(session_id)
-        await submit_interleaved_stream(service, stream)
+        try:
+            for session_id in manager.session_ids():
+                service.get_or_create_session(session_id)
+            driver = asyncio.ensure_future(submit_interleaved_stream(service, stream))
+            waiter = asyncio.ensure_future(stop.wait())
+            await asyncio.wait({driver, waiter}, return_when=asyncio.FIRST_COMPLETED)
+            if stop.is_set():
+                driver.cancel()
+                await asyncio.gather(driver, return_exceptions=True)
+                print("\nSignal received: draining admitted scans, then exiting")
+            else:
+                await driver  # surface submitter errors
+            waiter.cancel()
+            await asyncio.gather(waiter, return_exceptions=True)
+        finally:
+            _remove_signal_handlers(hooked)
         await service.flush_all()
         # Count every batch the background flushers dispatched, not just the
         # residual tail the final flush drained.
@@ -213,19 +296,60 @@ async def _async_main(
             f"({sum(s.admission_waits for s in manager.service_stats)} backpressured submits)"
         )
 
-        for _ in range(max(0, args.queries)):
+        if not stop.is_set():
+            for _ in range(max(0, args.queries)):
+                for session_id in manager.session_ids():
+                    for point in QUERY_POINTS:
+                        await service.query(session_id, *point)
             for session_id in manager.session_ids():
-                for point in QUERY_POINTS:
-                    await service.query(session_id, *point)
-        for session_id in manager.session_ids():
-            response = await service.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
-            hit = f"hit at {response.hit_point}" if response.hit else "no hit"
-            print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
+                response = await service.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
+                hit = f"hit at {response.hit_point}" if response.hit else "no hit"
+                print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
 
         print()
         print(service.render_stats())
         hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
         print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
+    return 0
+
+
+async def _http_main(config: SessionConfig, args: argparse.Namespace) -> int:
+    """Serve the network API until SIGINT/SIGTERM, then drain and exit 0.
+
+    The shutdown order matters: stop accepting (and drop live connections)
+    first, *then* ``close(drain=True)`` the service so every scan a client
+    got a 202 for reaches its map before the process exits.
+    """
+    from repro.serving.http.server import HttpMapServer
+
+    stop = asyncio.Event()
+    hooked = _install_signal_handlers(stop)
+    service = AsyncMapService(default_config=config)
+    server = HttpMapServer(service, host=args.host, port=args.port)
+    try:
+        try:
+            await server.start()
+        except OSError as error:
+            print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+            await service.close(drain=False)
+            return 2
+        host, port = server.address
+        print(
+            f"Serving the map API on http://{host}:{port} "
+            f"({args.backend} backend, {args.scheduler} scheduler, "
+            f"{args.shards} shards per session); Ctrl-C to stop"
+        )
+        sys.stdout.flush()
+        await stop.wait()
+        print("\nSignal received: draining admitted scans, then exiting")
+    finally:
+        _remove_signal_handlers(hooked)
+        await server.close()
+        await service.close(drain=True)
+    if len(service.manager.service_stats):
+        print()
+        print(service.render_stats())
+    print("Shutdown complete")
     return 0
 
 

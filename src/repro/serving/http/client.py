@@ -1,0 +1,390 @@
+"""A small asyncio HTTP/1.1 client for the map-server API.
+
+Stdlib-only counterpart of :mod:`repro.serving.http.server`: one
+``asyncio.open_connection`` per request (``Connection: close``; deliberate
+-- correctness tests want independent connections, and the benchmark then
+measures the honest per-request cost of the network hop), plain and
+chunked-transfer (NDJSON) response reading, and
+:class:`MapServiceClient`, which wraps the REST surface including the
+init/chunks/commit upload protocol and job polling.  Tests, the workload
+demo and the HTTP-vs-in-process benchmark all drive the server through
+this module, so the client is exercised as hard as the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["HttpResponse", "ServerError", "http_request", "MapServiceClient"]
+
+
+class ServerError(Exception):
+    """A non-2xx response, surfaced with its status and decoded error body."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('code', 'error')}: "
+            f"{error.get('message', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+        self.code = error.get("code", "")
+        self.detail = error.get("detail")
+
+
+@dataclass
+class HttpResponse:
+    """One complete (non-streamed) response."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, str]]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _read_chunked(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    """Yield the data of each chunked-transfer frame until the terminator."""
+    while True:
+        size_line = await reader.readuntil(b"\r\n")
+        size = int(size_line.strip(), 16)
+        if size == 0:
+            await reader.readexactly(2)  # trailing CRLF of the terminator
+            return
+        data = await reader.readexactly(size)
+        await reader.readexactly(2)  # frame CRLF
+        yield data
+
+
+def _request_bytes(method: str, path: str, host: str, body: bytes, content_type: str) -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _encode_body(payload: Any) -> Tuple[bytes, str]:
+    if payload is None:
+        return b"", "application/json"
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload), "application/octet-stream"
+    return json.dumps(payload).encode("utf-8"), "application/json"
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any = None,
+    *,
+    raw_body: Optional[bytes] = None,
+) -> HttpResponse:
+    """One request / one connection; returns the buffered response.
+
+    ``payload`` is JSON-encoded; ``raw_body`` sends bytes verbatim instead
+    (the upload-chunk ``PUT``).  Chunked responses are drained and
+    concatenated -- use :meth:`MapServiceClient.stream_bbox` to consume
+    frames incrementally.
+    """
+    body, content_type = (
+        (raw_body, "application/octet-stream")
+        if raw_body is not None
+        else _encode_body(payload)
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(_request_bytes(method, path, f"{host}:{port}", body, content_type))
+        await writer.drain()
+        status, headers = await _read_head(reader)
+        if headers.get("transfer-encoding") == "chunked":
+            chunks = [chunk async for chunk in _read_chunked(reader)]
+            data = b"".join(chunks)
+        else:
+            data = await reader.readexactly(int(headers.get("content-length", "0")))
+        return HttpResponse(status=status, headers=headers, body=data)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class MapServiceClient:
+    """Typed wrapper over the REST API of one map server.
+
+    Every call raises :class:`ServerError` on a non-2xx answer, so tests
+    assert on ``error.status`` / ``error.code`` instead of parsing bodies.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _call(
+        self, method: str, path: str, payload: Any = None, *, raw_body: Optional[bytes] = None
+    ) -> Any:
+        response = await http_request(
+            self.host, self.port, method, path, payload, raw_body=raw_body
+        )
+        if response.status >= 400:
+            try:
+                decoded = response.json()
+            except (ValueError, UnicodeDecodeError):
+                decoded = {"error": {"message": response.body.decode("latin-1")}}
+            raise ServerError(response.status, decoded)
+        if response.headers.get("content-type", "").startswith("application/json"):
+            return response.json()
+        return response.body
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    async def healthz(self) -> dict:
+        return await self._call("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self._call("GET", "/v1/stats")
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    async def create_session(self, session_id: str, config: Optional[dict] = None) -> dict:
+        payload: Dict[str, Any] = {"session_id": session_id}
+        if config:
+            payload["config"] = config
+        return await self._call("POST", "/v1/sessions", payload)
+
+    async def list_sessions(self) -> List[str]:
+        return (await self._call("GET", "/v1/sessions"))["sessions"]
+
+    async def session_stats(self, session_id: str) -> dict:
+        return await self._call("GET", f"/v1/sessions/{session_id}")
+
+    async def delete_session(self, session_id: str) -> dict:
+        return await self._call("DELETE", f"/v1/sessions/{session_id}")
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def submit_scan(
+        self,
+        session_id: str,
+        points: Sequence[Sequence[float]],
+        origin: Sequence[float],
+        *,
+        max_range: float = -1.0,
+        priority: int = 0,
+        deadline_in_s: Optional[float] = None,
+        client_id: str = "",
+    ) -> dict:
+        payload: Dict[str, Any] = {
+            "points": [list(point) for point in points],
+            "origin": list(origin),
+            "max_range": max_range,
+            "priority": priority,
+            "client_id": client_id,
+        }
+        if deadline_in_s is not None:
+            payload["deadline_in_s"] = deadline_in_s
+        return await self._call("POST", f"/v1/sessions/{session_id}/scans", payload)
+
+    async def flush(self, session_id: str) -> List[dict]:
+        return (await self._call("POST", f"/v1/sessions/{session_id}/flush"))["reports"]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    async def query(self, session_id: str, x: float, y: float, z: float) -> dict:
+        return await self._call(
+            "POST", f"/v1/sessions/{session_id}/query", {"point": [x, y, z]}
+        )
+
+    async def query_batch(
+        self, session_id: str, points: Sequence[Sequence[float]]
+    ) -> List[dict]:
+        payload = {"points": [list(point) for point in points]}
+        return (
+            await self._call("POST", f"/v1/sessions/{session_id}/query/batch", payload)
+        )["responses"]
+
+    async def query_bbox(
+        self, session_id: str, minimum: Sequence[float], maximum: Sequence[float]
+    ) -> dict:
+        payload = {"min": list(minimum), "max": list(maximum)}
+        return await self._call("POST", f"/v1/sessions/{session_id}/query/bbox", payload)
+
+    async def stream_bbox(
+        self,
+        session_id: str,
+        minimum: Sequence[float],
+        maximum: Sequence[float],
+        *,
+        chunk_voxels: int = 1024,
+        include_voxels: bool = True,
+    ) -> AsyncIterator[dict]:
+        """Consume the NDJSON chunked-transfer bbox sweep frame by frame."""
+        payload = {
+            "min": list(minimum),
+            "max": list(maximum),
+            "chunk_voxels": chunk_voxels,
+            "include_voxels": include_voxels,
+        }
+        body, content_type = _encode_body(payload)
+        path = f"/v1/sessions/{session_id}/query/bbox?stream=true"
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                _request_bytes("POST", path, f"{self.host}:{self.port}", body, content_type)
+            )
+            await writer.drain()
+            status, headers = await _read_head(reader)
+            if status >= 400:
+                data = await reader.readexactly(int(headers.get("content-length", "0")))
+                raise ServerError(status, json.loads(data.decode("utf-8")) if data else {})
+            buffer = b""
+            async for frame in _read_chunked(reader):
+                buffer += frame
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def raycast(
+        self,
+        session_id: str,
+        origin: Sequence[float],
+        direction: Sequence[float],
+        max_range: float,
+    ) -> dict:
+        payload = {
+            "origin": list(origin),
+            "direction": list(direction),
+            "max_range": max_range,
+        }
+        return await self._call("POST", f"/v1/sessions/{session_id}/raycast", payload)
+
+    # ------------------------------------------------------------------
+    # Chunked uploads
+    # ------------------------------------------------------------------
+    async def upload_scans(
+        self,
+        session_id: str,
+        scans: Sequence[dict],
+        *,
+        chunk_bytes: int = 64 * 1024,
+    ) -> dict:
+        """Drive the whole init -> chunks -> commit protocol for a scan list.
+
+        Splits the JSON document ``{"scans": [...]}`` into ``chunk_bytes``
+        slices, so a batch far larger than the server's single-body limit
+        round-trips through the resumable path.  Returns the commit
+        response (submission receipts included).
+        """
+        blob = json.dumps({"scans": list(scans)}).encode("utf-8")
+        total_chunks = max(1, math.ceil(len(blob) / chunk_bytes))
+        init = await self._call(
+            "POST",
+            f"/v1/sessions/{session_id}/uploads",
+            {"total_chunks": total_chunks, "total_bytes": len(blob)},
+        )
+        upload_id = init["upload_id"]
+        for index in range(total_chunks):
+            chunk = blob[index * chunk_bytes : (index + 1) * chunk_bytes]
+            await self.put_chunk(session_id, upload_id, index, chunk)
+        return await self.commit_upload(session_id, upload_id)
+
+    async def init_upload(
+        self, session_id: str, total_chunks: int, total_bytes: int = 0
+    ) -> dict:
+        return await self._call(
+            "POST",
+            f"/v1/sessions/{session_id}/uploads",
+            {"total_chunks": total_chunks, "total_bytes": total_bytes},
+        )
+
+    async def put_chunk(
+        self, session_id: str, upload_id: str, index: int, data: bytes
+    ) -> dict:
+        return await self._call(
+            "PUT",
+            f"/v1/sessions/{session_id}/uploads/{upload_id}/chunks/{index}",
+            raw_body=data,
+        )
+
+    async def upload_status(self, session_id: str, upload_id: str) -> dict:
+        return await self._call("GET", f"/v1/sessions/{session_id}/uploads/{upload_id}")
+
+    async def commit_upload(self, session_id: str, upload_id: str) -> dict:
+        return await self._call(
+            "POST", f"/v1/sessions/{session_id}/uploads/{upload_id}/commit"
+        )
+
+    async def abort_upload(self, session_id: str, upload_id: str) -> dict:
+        return await self._call(
+            "DELETE", f"/v1/sessions/{session_id}/uploads/{upload_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    async def start_export(self, session_id: str) -> dict:
+        return await self._call("POST", f"/v1/sessions/{session_id}/export")
+
+    async def start_flush_all(self) -> dict:
+        return await self._call("POST", "/v1/flush_all")
+
+    async def get_job(self, job_id: str) -> dict:
+        return await self._call("GET", f"/v1/jobs/{job_id}")
+
+    async def list_jobs(self) -> List[dict]:
+        return (await self._call("GET", "/v1/jobs"))["jobs"]
+
+    async def job_result(self, job_id: str) -> Any:
+        """The finished job's artifact bytes (or its JSON result)."""
+        return await self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    async def wait_job(
+        self, job_id: str, *, timeout_s: float = 30.0, poll_s: float = 0.02
+    ) -> dict:
+        """Poll a job until it reaches ``done``/``failed`` (or time out)."""
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while True:
+            record = await self.get_job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(f"job {job_id!r} still {record['status']} after {timeout_s}s")
+            await asyncio.sleep(poll_s)

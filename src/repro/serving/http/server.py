@@ -1,0 +1,634 @@
+"""The HTTP/1.1 map server: REST routing over one :class:`AsyncMapService`.
+
+One ``asyncio.start_server`` acceptor, one handler task per connection
+(keep-alive supported), every route delegating to the async service -- the
+server adds *no* concurrency semantics of its own beyond what
+:mod:`repro.serving.aio` already guarantees (bounded admission, per-session
+locking, fail-stop).  The ``API`` tuple below is the machine-readable route
+table; the README mirrors it with curl examples.
+
+Error mapping is centralised in the connection handler: ``HttpError`` and
+``UploadError`` carry their status, ``KeyError`` -> 404 unknown resource,
+``ValueError`` -> 400, ``AdmissionQueueFull`` -> 429 with a Retry-After
+hint, anything else -> 500 with the exception class name (no traceback
+leaks).  A handler crash therefore never kills the connection loop, and a
+connection crash never kills the acceptor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.octomap.serialization import serialize_tree
+from repro.serving.aio import AdmissionQueueFull, AsyncMapService
+from repro.serving.http.jobs import JobManager
+from repro.serving.http.uploads import UploadError, UploadManager
+from repro.serving.http.wire import (
+    HttpError,
+    HttpRequest,
+    bbox_chunk_payload,
+    bbox_payload,
+    end_chunked_response,
+    json_body,
+    point3,
+    query_payload,
+    raycast_payload,
+    read_request,
+    receipt_payload,
+    report_payload,
+    require_field,
+    scan_request_from_payload,
+    session_config_from_payload,
+    session_stats_payload,
+    start_chunked_response,
+    write_chunk,
+    write_response,
+)
+
+__all__ = ["HttpMapServer", "API"]
+
+#: route table: (method, path template) -> purpose.  Kept as data so the
+#: README, the 404 hint and the tests enumerate the same surface.
+API: Tuple[Tuple[str, str, str], ...] = (
+    ("GET", "/healthz", "liveness probe"),
+    ("GET", "/v1/stats", "service-wide counters (all sessions)"),
+    ("GET", "/v1/sessions", "list sessions"),
+    ("POST", "/v1/sessions", "create (or validate) a session"),
+    ("GET", "/v1/sessions/{sid}", "one session's counters"),
+    ("DELETE", "/v1/sessions/{sid}", "retire a session (drains first)"),
+    ("POST", "/v1/sessions/{sid}/scans", "submit one scan for ingestion"),
+    ("POST", "/v1/sessions/{sid}/flush", "drain the session's admitted scans"),
+    ("POST", "/v1/sessions/{sid}/query", "point occupancy query"),
+    ("POST", "/v1/sessions/{sid}/query/batch", "batch point query"),
+    ("POST", "/v1/sessions/{sid}/query/bbox", "bounding-box sweep (stream=true for NDJSON chunks)"),
+    ("POST", "/v1/sessions/{sid}/raycast", "collision raycast"),
+    ("POST", "/v1/sessions/{sid}/uploads", "init a chunked scan upload"),
+    ("GET", "/v1/sessions/{sid}/uploads/{uid}", "upload status (missing chunks)"),
+    ("PUT", "/v1/sessions/{sid}/uploads/{uid}/chunks/{n}", "send one chunk body"),
+    ("POST", "/v1/sessions/{sid}/uploads/{uid}/commit", "assemble + submit the scans"),
+    ("DELETE", "/v1/sessions/{sid}/uploads/{uid}", "abort an upload"),
+    ("POST", "/v1/sessions/{sid}/export", "start a map-export job (202 + job id)"),
+    ("POST", "/v1/flush_all", "start a flush-all job (202 + job id)"),
+    ("GET", "/v1/jobs", "list background jobs"),
+    ("GET", "/v1/jobs/{id}", "poll one job (status, stage history)"),
+    ("GET", "/v1/jobs/{id}/result", "download a finished job's artifact"),
+)
+
+
+class HttpMapServer:
+    """Serves the REST + streaming-upload API over one async map service.
+
+    Args:
+        service: the :class:`AsyncMapService` to front.  The server never
+            closes it -- the owner (CLI, test fixture) controls the service
+            lifecycle, so several front ends can share one service.
+        host / port: bind address; port 0 picks a free port (the bound one
+            is in :attr:`address` after :meth:`start`).
+        max_body_bytes: general JSON request-body cap; the upload-chunk
+            route is instead capped by ``uploads.max_chunk_bytes``.
+        uploads / jobs: injectable managers (tests pass fakes with stepped
+            clocks); fresh defaults otherwise.
+    """
+
+    def __init__(
+        self,
+        service: AsyncMapService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_body_bytes: int = 256 * 1024,
+        uploads: Optional[UploadManager] = None,
+        jobs: Optional[JobManager] = None,
+    ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.uploads = uploads if uploads is not None else UploadManager()
+        self.jobs = jobs if jobs is not None else JobManager()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "HttpMapServer":
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return (self.host, self.port)
+
+    async def close(self) -> None:
+        """Stop accepting, drop live connections, cancel in-flight jobs.
+
+        Does *not* close the fronted service -- the owner does that (and
+        decides whether to drain).  Idempotent.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        await self.jobs.close()
+
+    async def __aenter__(self) -> "HttpMapServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def serve_forever(self) -> None:
+        """Block until the acceptor is closed (the CLI's main await)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._connection_loop(reader, writer), name="http-conn"
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    def _body_cap_for(self, method: str, path: str) -> int:
+        if method == "PUT" and "/chunks/" in path:
+            return self.uploads.max_chunk_bytes
+        return 0
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.max_body_bytes, self._body_cap_for
+                    )
+                except HttpError as error:
+                    # Framing errors: answer and drop the connection (the
+                    # stream position is unreliable after a bad head and an
+                    # over-limit body was never read).
+                    await write_response(
+                        writer, error.status, error.payload(), keep_alive=False
+                    )
+                    return
+                if request is None:
+                    return
+                keep_alive = request.headers.get("connection", "keep-alive") != "close"
+                try:
+                    handled = await self._dispatch(request, writer, keep_alive)
+                except HttpError as error:
+                    await write_response(
+                        writer, error.status, error.payload(), keep_alive=keep_alive
+                    )
+                    handled = True
+                if not handled or not keep_alive:
+                    return
+        except (
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, request: HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> bool:
+        """Route one request; returns False when the connection must close.
+
+        Streaming handlers (bbox with ``stream=true``) write the response
+        themselves; everything else returns ``(status, payload)`` through
+        the common error mapping.
+        """
+        try:
+            route = self._route(request)
+            if route is None:
+                raise HttpError(
+                    404,
+                    "unknown_route",
+                    f"no route {request.method} {request.path}",
+                    detail={"api": [f"{m} {p}" for m, p, _ in API]},
+                )
+            handler, args = route
+            is_bbox = getattr(handler, "__func__", None) is HttpMapServer._handle_bbox
+            if is_bbox and self._wants_stream(request):
+                await self._stream_bbox(request, writer, keep_alive, *args)
+                return True
+            status, payload = await handler(request, *args)
+            if isinstance(payload, _Raw):
+                await write_response(
+                    writer,
+                    status,
+                    payload.data,
+                    content_type=payload.content_type,
+                    keep_alive=keep_alive,
+                )
+            else:
+                await write_response(writer, status, payload, keep_alive=keep_alive)
+            return True
+        except HttpError:
+            raise
+        except UploadError as error:
+            raise HttpError(error.status, error.code, error.message, error.detail) from None
+        except AdmissionQueueFull as error:
+            raise HttpError(429, "admission_queue_full", str(error)) from None
+        except KeyError as error:
+            raise HttpError(404, "unknown_resource", f"unknown resource: {error}") from None
+        except ValueError as error:
+            raise HttpError(400, "bad_value", str(error)) from None
+        except ConnectionError:
+            raise
+        except Exception as error:  # noqa: BLE001 - map to 500, keep serving
+            raise HttpError(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            ) from None
+
+    def _route(
+        self, request: HttpRequest
+    ) -> Optional[Tuple[Callable[..., Awaitable[Tuple[int, object]]], tuple]]:
+        method = request.method
+        parts = [part for part in request.path.split("/") if part]
+        if parts == ["healthz"] and method == "GET":
+            return self._handle_healthz, ()
+        if not parts or parts[0] != "v1":
+            return None
+        parts = parts[1:]
+        if parts == ["stats"] and method == "GET":
+            return self._handle_stats, ()
+        if parts == ["flush_all"] and method == "POST":
+            return self._handle_flush_all, ()
+        if parts and parts[0] == "jobs" and method == "GET":
+            if len(parts) == 1:
+                return self._handle_jobs_list, ()
+            if len(parts) == 2:
+                return self._handle_job_get, (parts[1],)
+            if len(parts) == 3 and parts[2] == "result":
+                return self._handle_job_result, (parts[1],)
+            return None
+        if parts and parts[0] == "sessions":
+            if len(parts) == 1:
+                if method == "GET":
+                    return self._handle_sessions_list, ()
+                if method == "POST":
+                    return self._handle_session_create, ()
+                return None
+            sid = parts[1]
+            rest = parts[2:]
+            if not rest:
+                if method == "GET":
+                    return self._handle_session_get, (sid,)
+                if method == "DELETE":
+                    return self._handle_session_delete, (sid,)
+                return None
+            if rest == ["scans"] and method == "POST":
+                return self._handle_scan_submit, (sid,)
+            if rest == ["flush"] and method == "POST":
+                return self._handle_flush, (sid,)
+            if rest == ["query"] and method == "POST":
+                return self._handle_query, (sid,)
+            if rest == ["query", "batch"] and method == "POST":
+                return self._handle_query_batch, (sid,)
+            if rest == ["query", "bbox"] and method == "POST":
+                return self._handle_bbox, (sid,)
+            if rest == ["raycast"] and method == "POST":
+                return self._handle_raycast, (sid,)
+            if rest == ["export"] and method == "POST":
+                return self._handle_export, (sid,)
+            if rest and rest[0] == "uploads":
+                return self._route_uploads(method, sid, rest[1:])
+        return None
+
+    def _route_uploads(self, method: str, sid: str, rest: List[str]):
+        if not rest:
+            return (self._handle_upload_init, (sid,)) if method == "POST" else None
+        uid = rest[0]
+        tail = rest[1:]
+        if not tail:
+            if method == "GET":
+                return self._handle_upload_status, (sid, uid)
+            if method == "DELETE":
+                return self._handle_upload_abort, (sid, uid)
+            return None
+        if tail == ["commit"] and method == "POST":
+            return self._handle_upload_commit, (sid, uid)
+        if len(tail) == 2 and tail[0] == "chunks" and method == "PUT":
+            try:
+                index = int(tail[1])
+            except ValueError:
+                raise HttpError(
+                    400, "bad_chunk_index", f"chunk index must be an integer, got {tail[1]!r}"
+                ) from None
+            return self._handle_upload_chunk, (sid, uid, index)
+        return None
+
+    @staticmethod
+    def _wants_stream(request: HttpRequest) -> bool:
+        flag = request.query.get("stream", "")
+        if flag:
+            return flag.lower() in ("1", "true", "yes")
+        if request.body:
+            try:
+                return bool(json.loads(request.body.decode("utf-8")).get("stream"))
+            except (ValueError, AttributeError):
+                return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Handlers: service + sessions
+    # ------------------------------------------------------------------
+    async def _handle_healthz(self, request: HttpRequest) -> Tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "sessions": len(self.service.manager.session_ids()),
+            "pending_requests": self.service.pending_requests(),
+            "jobs": len(self.jobs),
+            "pending_upload_bytes": self.uploads.pending_bytes(),
+        }
+
+    async def _handle_stats(self, request: HttpRequest) -> Tuple[int, dict]:
+        stats = self.service.service_stats
+        return 200, {
+            "sessions": [session_stats_payload(block) for block in stats],
+            "totals": {
+                "voxel_updates": stats.total_voxel_updates(),
+                "point_queries": stats.total_queries(),
+                "cache_hit_rate": stats.overall_hit_rate(),
+                "deadline_misses": sum(block.deadline_misses for block in stats),
+            },
+        }
+
+    async def _handle_sessions_list(self, request: HttpRequest) -> Tuple[int, dict]:
+        return 200, {"sessions": sorted(self.service.manager.session_ids())}
+
+    async def _handle_session_create(self, request: HttpRequest) -> Tuple[int, dict]:
+        payload = json_body(request)
+        session_id = str(require_field(payload, "session_id"))
+        if not session_id:
+            raise HttpError(400, "bad_session_id", "session_id must be non-empty")
+        config = session_config_from_payload(
+            self.service.manager.default_config, payload.get("config")
+        )
+        existed = session_id in self.service.manager
+        session = self.service.get_or_create_session(session_id, config)
+        return (200 if existed else 201), {
+            "session_id": session_id,
+            "created": not existed,
+            "backend": session.config.backend,
+            "num_shards": session.config.num_shards,
+            "scheduler_policy": session.config.scheduler_policy,
+            "pipelined": session.config.pipelined,
+        }
+
+    async def _handle_session_get(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        session = self.service.manager.get_session(sid)
+        return 200, session_stats_payload(session.stats)
+
+    async def _handle_session_delete(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        dropped_uploads = self.uploads.abort_session(sid)
+        await self.service.close_session(sid, drain=True)
+        return 200, {"session_id": sid, "closed": True, "aborted_uploads": dropped_uploads}
+
+    # ------------------------------------------------------------------
+    # Handlers: ingestion
+    # ------------------------------------------------------------------
+    async def _handle_scan_submit(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        payload = json_body(request)
+        scan = scan_request_from_payload(sid, payload)
+        wait = bool(payload.get("wait", True))
+        receipt = await self.service.submit(scan, wait=wait, auto_create=False)
+        return 202, receipt_payload(receipt)
+
+    async def _handle_flush(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        reports = await self.service.flush(sid)
+        return 200, {"reports": [report_payload(report) for report in reports]}
+
+    # ------------------------------------------------------------------
+    # Handlers: queries
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        payload = json_body(request)
+        x, y, z = point3(require_field(payload, "point"), "point")
+        response = await self.service.query(sid, x, y, z)
+        return 200, query_payload(response)
+
+    async def _handle_query_batch(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        payload = json_body(request)
+        points = require_field(payload, "points")
+        if not isinstance(points, list):
+            raise HttpError(400, "bad_points", "points must be a list of [x, y, z] triples")
+        coords = [point3(point, f"points[{i}]") for i, point in enumerate(points)]
+        responses = await self.service.query_batch(sid, coords)
+        return 200, {"responses": [query_payload(r) for r in responses]}
+
+    async def _handle_bbox(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        payload = json_body(request)
+        minimum = point3(require_field(payload, "min"), "min")
+        maximum = point3(require_field(payload, "max"), "max")
+        summary = await self.service.query_bbox(sid, minimum, maximum)
+        return 200, bbox_payload(summary)
+
+    async def _stream_bbox(
+        self, request: HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool, sid: str
+    ) -> None:
+        """NDJSON chunked-transfer variant of the bbox sweep."""
+        payload = json_body(request)
+        minimum = point3(require_field(payload, "min"), "min")
+        maximum = point3(require_field(payload, "max"), "max")
+        try:
+            chunk_voxels = int(payload.get("chunk_voxels", 1024))
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_field", "chunk_voxels must be an integer") from None
+        include_voxels = bool(payload.get("include_voxels", True))
+        stream = self.service.stream_bbox(
+            sid,
+            minimum,
+            maximum,
+            chunk_voxels=chunk_voxels,
+            include_voxels=include_voxels,
+        )
+        # Pull the first chunk before committing to a 200: validation errors
+        # (inverted box, guardrail, unknown session) must still map to their
+        # JSON error response, which is impossible mid-stream.
+        try:
+            first = await stream.__anext__()
+        except StopAsyncIteration:
+            first = None
+        await start_chunked_response(writer, 200, keep_alive=keep_alive)
+        if first is not None:
+            await write_chunk(writer, bbox_chunk_payload(first, include_voxels))
+            async for chunk in stream:
+                await write_chunk(writer, bbox_chunk_payload(chunk, include_voxels))
+        await end_chunked_response(writer)
+
+    async def _handle_raycast(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        payload = json_body(request)
+        origin = point3(require_field(payload, "origin"), "origin")
+        direction = point3(require_field(payload, "direction"), "direction")
+        try:
+            max_range = float(require_field(payload, "max_range"))
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_field", "max_range must be a number") from None
+        response = await self.service.raycast(sid, origin, direction, max_range)
+        return 200, raycast_payload(response)
+
+    # ------------------------------------------------------------------
+    # Handlers: chunked uploads
+    # ------------------------------------------------------------------
+    async def _handle_upload_init(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        # The session must exist: uploads buffer real memory, so an unknown
+        # session must 404 before any chunk is accepted.
+        self.service.manager.get_session(sid)
+        payload = json_body(request)
+        try:
+            total_chunks = int(require_field(payload, "total_chunks"))
+            total_bytes = int(payload.get("total_bytes", 0))
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_upload", "total_chunks/total_bytes must be integers") from None
+        record = self.uploads.init(sid, total_chunks, total_bytes)
+        return 201, record.payload()
+
+    async def _handle_upload_status(
+        self, request: HttpRequest, sid: str, uid: str
+    ) -> Tuple[int, dict]:
+        return 200, self.uploads.get(sid, uid).payload()
+
+    async def _handle_upload_chunk(
+        self, request: HttpRequest, sid: str, uid: str, index: int
+    ) -> Tuple[int, dict]:
+        record = self.uploads.put_chunk(sid, uid, index, request.body)
+        return 200, {
+            "upload_id": uid,
+            "chunk": index,
+            "received_chunks": len(record.chunks),
+            "missing_chunks": record.missing_chunks,
+        }
+
+    async def _handle_upload_commit(
+        self, request: HttpRequest, sid: str, uid: str
+    ) -> Tuple[int, dict]:
+        scans = self.uploads.commit(sid, uid)
+        receipts = []
+        for position, scan in enumerate(scans):
+            try:
+                scan_request = scan_request_from_payload(sid, scan)
+            except HttpError as error:
+                raise HttpError(
+                    error.status,
+                    error.code,
+                    f"scan {position} of upload {uid!r}: {error.message}",
+                    error.detail,
+                ) from None
+            receipt = await self.service.submit(scan_request, auto_create=False)
+            receipts.append(receipt_payload(receipt))
+        return 200, {"upload_id": uid, "submitted": len(receipts), "receipts": receipts}
+
+    async def _handle_upload_abort(
+        self, request: HttpRequest, sid: str, uid: str
+    ) -> Tuple[int, dict]:
+        self.uploads.abort(sid, uid)
+        return 200, {"upload_id": uid, "aborted": True}
+
+    # ------------------------------------------------------------------
+    # Handlers: background jobs
+    # ------------------------------------------------------------------
+    async def _handle_export(self, request: HttpRequest, sid: str) -> Tuple[int, dict]:
+        # Resolve the session now: an unknown id must 404 on the submit,
+        # not fail the job after a 202.
+        self.service.manager.get_session(sid)
+        service = self.service
+
+        async def body(handle) -> dict:
+            handle.stage("flush", f"draining session {sid!r}")
+            await service.flush(sid)
+            handle.stage("export", "stitching shard subtrees")
+            tree = await service.export_octree(sid)
+            handle.stage("serialize", "encoding the octree")
+            data = serialize_tree(tree)
+            handle.set_artifact(data, "application/octet-stream")
+            return {
+                "session_id": sid,
+                "leaf_nodes": tree.num_leaf_nodes(),
+                "occupied_leafs": sum(1 for _ in tree.iter_occupied()),
+                "artifact_bytes": len(data),
+            }
+
+        record = self.jobs.start("export", body)
+        return 202, record.payload()
+
+    async def _handle_flush_all(self, request: HttpRequest) -> Tuple[int, dict]:
+        service = self.service
+
+        async def body(handle) -> dict:
+            handle.stage("flush", "draining every session")
+            reports = await service.flush_all()
+            return {
+                "batches": len(reports),
+                "scans": sum(report.scans for report in reports),
+                "voxel_updates": sum(report.voxel_updates for report in reports),
+            }
+
+        record = self.jobs.start("flush_all", body)
+        return 202, record.payload()
+
+    async def _handle_jobs_list(self, request: HttpRequest) -> Tuple[int, dict]:
+        return 200, {"jobs": [record.payload() for record in self.jobs.records()]}
+
+    async def _handle_job_get(self, request: HttpRequest, job_id: str) -> Tuple[int, dict]:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise HttpError(404, "unknown_job", f"no job {job_id!r} (expired or never started)")
+        return 200, record.payload()
+
+    async def _handle_job_result(self, request: HttpRequest, job_id: str):
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise HttpError(404, "unknown_job", f"no job {job_id!r} (expired or never started)")
+        if record.status == "failed":
+            raise HttpError(409, "job_failed", f"job {job_id!r} failed: {record.error}")
+        if record.status != "done":
+            raise HttpError(
+                409, "job_not_done", f"job {job_id!r} is still {record.status}; poll until done"
+            )
+        if record.artifact is None:
+            return 200, record.result or {}
+        return 200, _Raw(record.artifact, record.artifact_content_type)
+
+
+class _Raw:
+    """Marker wrapper: a handler result that is raw bytes, not JSON."""
+
+    def __init__(self, data: bytes, content_type: str) -> None:
+        self.data = data
+        self.content_type = content_type

@@ -1,0 +1,288 @@
+"""Chunked streaming uploads: scan batches larger than one request body.
+
+The HTTP server caps single request bodies (a malformed or hostile client
+must not make it buffer an unbounded POST), which also caps how many scan
+points one submit can carry.  The upload protocol lifts that limit without
+ever holding more than the declared total in memory:
+
+1. ``POST /v1/sessions/{sid}/uploads`` *initialises* an upload, declaring
+   ``total_chunks`` (and optionally ``total_bytes``); the server answers
+   with an upload id.
+2. ``PUT /v1/sessions/{sid}/uploads/{uid}/chunks/{n}`` sends chunk ``n``
+   (0-based) as a raw body.  Chunks may arrive in any order, may be retried
+   idempotently (same bytes), and each is bounded by ``max_chunk_bytes``.
+3. ``POST /v1/sessions/{sid}/uploads/{uid}/commit`` assembles the chunks in
+   index order into one JSON document ``{"scans": [...]}`` and hands the
+   decoded scan list to the caller.  Missing chunks refuse the commit with
+   the exact indices still owed (the *resumable* part: the client re-sends
+   just those and commits again).
+
+Quota rules: a chunk above ``max_chunk_bytes`` is refused (HTTP 413), as is
+an upload growing past ``max_upload_bytes`` or the server exceeding
+``max_total_bytes`` across all pending uploads (back-pressure against
+parallel uploaders).  Aborting or committing an upload releases its bytes.
+
+This module is transport-agnostic state management; the HTTP routing lives
+in :mod:`repro.serving.http.server`.  Errors carry the HTTP status the
+server should answer with, so the mapping stays in one place.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["UploadError", "UploadRecord", "UploadManager"]
+
+
+class UploadError(Exception):
+    """An upload-protocol violation, tagged with its HTTP status and code."""
+
+    def __init__(self, status: int, code: str, message: str, detail: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+
+@dataclass
+class UploadRecord:
+    """State of one in-flight chunked upload."""
+
+    upload_id: str
+    session_id: str
+    total_chunks: int
+    #: client-declared total size; 0 means "not declared" (the per-upload
+    #: cap still applies).
+    total_bytes: int
+    created_at: float
+    chunks: Dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def received_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self.chunks.values())
+
+    @property
+    def missing_chunks(self) -> List[int]:
+        """Indices still owed before the upload can commit."""
+        return [index for index in range(self.total_chunks) if index not in self.chunks]
+
+    def payload(self) -> dict:
+        """The status-endpoint JSON view."""
+        return {
+            "upload_id": self.upload_id,
+            "session_id": self.session_id,
+            "total_chunks": self.total_chunks,
+            "received_chunks": len(self.chunks),
+            "received_bytes": self.received_bytes,
+            "missing_chunks": self.missing_chunks,
+        }
+
+
+class UploadManager:
+    """Registry of in-flight uploads with per-chunk and per-upload quotas.
+
+    Args:
+        max_chunk_bytes: hard cap on one chunk body (HTTP 413 above it).
+        max_upload_bytes: hard cap on one upload's assembled size.
+        max_total_bytes: cap on bytes buffered across *all* pending uploads.
+        max_chunks: cap on ``total_chunks`` an init may declare.
+        stale_ttl_s: uploads idle longer than this are purged lazily, so an
+            abandoned client cannot pin quota forever.
+        clock: injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        max_chunk_bytes: int = 1 << 20,
+        max_upload_bytes: int = 64 << 20,
+        max_total_bytes: int = 256 << 20,
+        max_chunks: int = 4096,
+        stale_ttl_s: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_chunk_bytes < 1 or max_upload_bytes < 1 or max_total_bytes < 1:
+            raise ValueError("upload byte quotas must be positive")
+        self.max_chunk_bytes = max_chunk_bytes
+        self.max_upload_bytes = max_upload_bytes
+        self.max_total_bytes = max_total_bytes
+        self.max_chunks = max_chunks
+        self.stale_ttl_s = stale_ttl_s
+        self._clock = clock
+        self._counter = itertools.count(1)
+        self._records: Dict[str, UploadRecord] = {}
+        self._touched: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def init(self, session_id: str, total_chunks: int, total_bytes: int = 0) -> UploadRecord:
+        """Open an upload; validates the declared shape against the quotas."""
+        self._purge()
+        if total_chunks < 1:
+            raise UploadError(400, "bad_upload", "total_chunks must be at least 1")
+        if total_chunks > self.max_chunks:
+            raise UploadError(
+                400,
+                "bad_upload",
+                f"total_chunks {total_chunks} exceeds the {self.max_chunks} limit",
+            )
+        if total_bytes < 0:
+            raise UploadError(400, "bad_upload", "total_bytes must be non-negative")
+        if total_bytes > self.max_upload_bytes:
+            raise UploadError(
+                413,
+                "upload_too_large",
+                f"declared size {total_bytes} exceeds the per-upload quota "
+                f"of {self.max_upload_bytes} bytes",
+            )
+        record = UploadRecord(
+            upload_id=f"upload-{next(self._counter)}",
+            session_id=session_id,
+            total_chunks=total_chunks,
+            total_bytes=total_bytes,
+            created_at=self._clock(),
+        )
+        self._records[record.upload_id] = record
+        self._touch(record)
+        return record
+
+    def get(self, session_id: str, upload_id: str) -> UploadRecord:
+        """Look up an upload; 404 when unknown, expired or session-mismatched."""
+        self._purge()
+        record = self._records.get(upload_id)
+        if record is None or record.session_id != session_id:
+            raise UploadError(
+                404, "unknown_upload", f"no pending upload {upload_id!r} in session {session_id!r}"
+            )
+        return record
+
+    def put_chunk(self, session_id: str, upload_id: str, index: int, data: bytes) -> UploadRecord:
+        """Store chunk ``index``; idempotent for byte-identical retries."""
+        record = self.get(session_id, upload_id)
+        if index < 0 or index >= record.total_chunks:
+            raise UploadError(
+                400,
+                "bad_chunk_index",
+                f"chunk index {index} outside [0, {record.total_chunks})",
+            )
+        if len(data) > self.max_chunk_bytes:
+            raise UploadError(
+                413,
+                "chunk_too_large",
+                f"chunk of {len(data)} bytes exceeds the {self.max_chunk_bytes}-byte limit",
+            )
+        existing = record.chunks.get(index)
+        if existing is not None and existing != data:
+            raise UploadError(
+                409,
+                "chunk_conflict",
+                f"chunk {index} was already uploaded with different content",
+            )
+        added = 0 if existing is not None else len(data)
+        if added:
+            if record.received_bytes + added > self.max_upload_bytes:
+                raise UploadError(
+                    413,
+                    "upload_too_large",
+                    f"upload would grow past the per-upload quota of "
+                    f"{self.max_upload_bytes} bytes",
+                )
+            if self.pending_bytes() + added > self.max_total_bytes:
+                raise UploadError(
+                    429,
+                    "upload_quota",
+                    "server-wide upload buffer is full; retry after pending "
+                    "uploads commit or expire",
+                )
+        record.chunks[index] = data
+        self._touch(record)
+        return record
+
+    def commit(self, session_id: str, upload_id: str) -> List[dict]:
+        """Assemble the chunks and decode the scan list; releases the upload.
+
+        Raises:
+            UploadError: 409 with the missing indices when incomplete, 400
+                when the assembled document is not ``{"scans": [...]}``.
+        """
+        record = self.get(session_id, upload_id)
+        missing = record.missing_chunks
+        if missing:
+            raise UploadError(
+                409,
+                "upload_incomplete",
+                f"upload {upload_id!r} is missing {len(missing)} chunk(s); "
+                "re-send them and commit again",
+                detail={"missing_chunks": missing},
+            )
+        blob = b"".join(record.chunks[index] for index in range(record.total_chunks))
+        if record.total_bytes and len(blob) != record.total_bytes:
+            raise UploadError(
+                409,
+                "size_mismatch",
+                f"assembled {len(blob)} bytes but the init declared {record.total_bytes}",
+            )
+        try:
+            document = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise UploadError(
+                400, "bad_upload_json", f"assembled upload is not valid JSON: {error}"
+            ) from None
+        if not isinstance(document, dict) or not isinstance(document.get("scans"), list):
+            raise UploadError(
+                400, "bad_upload_json", 'assembled upload must be {"scans": [...]}'
+            )
+        scans = document["scans"]
+        if not all(isinstance(scan, dict) for scan in scans):
+            raise UploadError(400, "bad_upload_json", "every scan must be a JSON object")
+        self._drop(upload_id)
+        return scans
+
+    def abort(self, session_id: str, upload_id: str) -> None:
+        """Discard an upload and release its buffered bytes."""
+        self.get(session_id, upload_id)
+        self._drop(upload_id)
+
+    def abort_session(self, session_id: str) -> int:
+        """Discard every pending upload of a closed session."""
+        doomed = [
+            upload_id
+            for upload_id, record in self._records.items()
+            if record.session_id == session_id
+        ]
+        for upload_id in doomed:
+            self._drop(upload_id)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def pending_bytes(self) -> int:
+        """Bytes currently buffered across all pending uploads."""
+        return sum(record.received_bytes for record in self._records.values())
+
+    def __len__(self) -> int:
+        self._purge()
+        return len(self._records)
+
+    def _touch(self, record: UploadRecord) -> None:
+        self._touched[record.upload_id] = self._clock()
+
+    def _drop(self, upload_id: str) -> None:
+        self._records.pop(upload_id, None)
+        self._touched.pop(upload_id, None)
+
+    def _purge(self) -> None:
+        now = self._clock()
+        expired = [
+            upload_id
+            for upload_id, touched in self._touched.items()
+            if now - touched > self.stale_ttl_s
+        ]
+        for upload_id in expired:
+            self._drop(upload_id)

@@ -1,0 +1,508 @@
+"""HTTP/1.1 framing and the JSON wire codecs of the network API.
+
+Two halves, both stdlib-only:
+
+* **Framing** -- a minimal, strict HTTP/1.1 reader/writer over asyncio
+  streams: request-head parsing with a size cap, bounded body reads keyed on
+  ``Content-Length`` (chunked *request* bodies are rejected -- the upload
+  protocol in :mod:`repro.serving.http.uploads` exists precisely so clients
+  never need them), plain and chunked-transfer response writers, and
+  :class:`HttpError`, the exception handlers raise to produce a JSON error
+  response with the right status code.
+
+* **Codecs** -- the JSON representations of the serving-layer dataclasses
+  (:class:`~repro.serving.types.ScanRequest` in,
+  receipts/reports/query/raycast/bbox/stats payloads out).  These pin the
+  network wire format the same way ``serving/types.py`` pins the in-process
+  one: every later front end (observability middleware, cross-machine
+  sharding) speaks these shapes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.octomap.pointcloud import PointCloud
+from repro.serving.session import SessionConfig
+from repro.serving.stats import SessionStats
+from repro.serving.types import (
+    BatchReport,
+    BboxChunk,
+    BoxOccupancySummary,
+    IngestReceipt,
+    QueryResponse,
+    RaycastResponse,
+    ScanRequest,
+)
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "write_response",
+    "start_chunked_response",
+    "write_chunk",
+    "end_chunked_response",
+    "json_body",
+    "require_field",
+    "point3",
+    "scan_request_from_payload",
+    "session_config_from_payload",
+    "receipt_payload",
+    "report_payload",
+    "query_payload",
+    "bbox_payload",
+    "bbox_chunk_payload",
+    "raycast_payload",
+    "session_stats_payload",
+]
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+MAX_HEADER_BYTES = 16 * 1024
+
+
+class HttpError(Exception):
+    """A handler failure that maps to one HTTP error response.
+
+    Args:
+        status: HTTP status code of the response.
+        code: short machine-readable error identifier (stable; clients and
+            tests match on it, not on the message).
+        message: human-readable explanation.
+        detail: optional extra JSON-serialisable context (e.g. the missing
+            chunk indices of a refused upload commit).
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, detail: Optional[dict] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def payload(self) -> dict:
+        """The JSON body of the error response."""
+        error: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.detail:
+            error["detail"] = self.detail
+        return {"error": error}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: head fields plus the (bounded) body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON; raises :class:`HttpError` 400 on junk."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, "bad_json", f"request body is not valid JSON: {error}") from None
+
+
+# ---------------------------------------------------------------------------
+# Framing: read one request, write one response
+# ---------------------------------------------------------------------------
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    body_cap_for=None,
+) -> Optional[HttpRequest]:
+    """Read one HTTP/1.1 request off a stream; ``None`` on a clean EOF.
+
+    ``max_body_bytes`` caps the body; ``body_cap_for(method, path)``, when
+    given, may return a *larger* per-route cap (the upload-chunk route allows
+    bodies up to the configured chunk size even when the general JSON body
+    limit is smaller).  An over-limit ``Content-Length`` raises
+    :class:`HttpError` 413 before any body byte is read, so oversized
+    uploads are refused cheaply.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise HttpError(400, "bad_request", "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "bad_request", "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "bad_request", "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request", f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            411,
+            "length_required",
+            "chunked request bodies are not supported; use the "
+            "init/chunk/commit upload protocol for large payloads",
+        )
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise HttpError(400, "bad_request", f"bad Content-Length: {length_header!r}") from None
+    if length < 0:
+        raise HttpError(400, "bad_request", f"bad Content-Length: {length_header!r}")
+    cap = max_body_bytes
+    if body_cap_for is not None:
+        cap = max(cap, body_cap_for(method, path))
+    if length > cap:
+        raise HttpError(
+            413,
+            "body_too_large",
+            f"request body of {length} bytes exceeds the {cap}-byte limit; "
+            "use the chunked upload protocol for large scan batches",
+        )
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method=method, path=path, query=query, headers=headers, body=body)
+
+
+def _head_bytes(
+    status: int, content_type: str, length: Optional[int], keep_alive: bool, chunked: bool
+) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {length or 0}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any = None,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> None:
+    """Write one complete response; dict payloads are JSON-encoded."""
+    if payload is None:
+        body = b""
+    elif isinstance(payload, (bytes, bytearray)):
+        body = bytes(payload)
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+    writer.write(_head_bytes(status, content_type, len(body), keep_alive, chunked=False))
+    if body:
+        writer.write(body)
+    await writer.drain()
+
+
+async def start_chunked_response(
+    writer: asyncio.StreamWriter,
+    status: int = 200,
+    *,
+    content_type: str = "application/x-ndjson",
+    keep_alive: bool = True,
+) -> None:
+    """Open a chunked-transfer response (follow with :func:`write_chunk`)."""
+    writer.write(_head_bytes(status, content_type, None, keep_alive, chunked=True))
+    await writer.drain()
+
+
+async def write_chunk(writer: asyncio.StreamWriter, data: Any) -> None:
+    """Write one chunked-transfer frame; dicts become one NDJSON line."""
+    if isinstance(data, (bytes, bytearray)):
+        raw = bytes(data)
+    else:
+        raw = (json.dumps(data) + "\n").encode("utf-8")
+    if not raw:
+        return  # an empty frame would terminate the chunked stream
+    writer.write(f"{len(raw):x}\r\n".encode("latin-1") + raw + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked_response(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked-transfer response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Payload access helpers
+# ---------------------------------------------------------------------------
+def json_body(request: HttpRequest) -> dict:
+    """The request body as a JSON object (400 unless it is a dict)."""
+    if not request.body:
+        return {}
+    payload = request.json()
+    if not isinstance(payload, dict):
+        raise HttpError(400, "bad_json", "request body must be a JSON object")
+    return payload
+
+
+def require_field(payload: Mapping, field: str) -> Any:
+    """Fetch a required field; raises :class:`HttpError` 400 when absent."""
+    try:
+        return payload[field]
+    except KeyError:
+        raise HttpError(400, "missing_field", f"missing required field {field!r}") from None
+
+
+def point3(value: Any, field: str) -> Tuple[float, float, float]:
+    """Coerce a JSON value into an ``(x, y, z)`` float triple (400 on junk)."""
+    try:
+        x, y, z = (float(component) for component in value)
+    except (TypeError, ValueError):
+        raise HttpError(
+            400, "bad_point", f"field {field!r} must be a [x, y, z] number triple"
+        ) from None
+    return (x, y, z)
+
+
+# ---------------------------------------------------------------------------
+# Domain codecs
+# ---------------------------------------------------------------------------
+def scan_request_from_payload(session_id: str, payload: Mapping) -> ScanRequest:
+    """Build a :class:`ScanRequest` from its JSON representation.
+
+    Expected shape::
+
+        {"points": [[x, y, z], ...],      # world-frame scan points
+         "origin": [x, y, z],             # sensor origin, world frame
+         "max_range": 15.0,               # optional, -1 disables truncation
+         "priority": 0,                   # optional
+         "deadline_in_s": 0.25,           # optional, relative seconds from
+                                          # arrival (converted to the
+                                          # service's monotonic clock)
+         "client_id": "drone-7"}          # optional
+
+    Raises :class:`HttpError` 400 on any shape violation.
+    """
+    points = require_field(payload, "points")
+    try:
+        cloud = PointCloud(points)
+    except (TypeError, ValueError) as error:
+        raise HttpError(400, "bad_points", f"bad scan points: {error}") from None
+    origin = point3(require_field(payload, "origin"), "origin")
+    try:
+        max_range = float(payload.get("max_range", -1.0))
+        priority = int(payload.get("priority", 0))
+    except (TypeError, ValueError) as error:
+        raise HttpError(400, "bad_field", f"bad scan field: {error}") from None
+    deadline_s = float("inf")
+    if payload.get("deadline_in_s") is not None:
+        try:
+            deadline_in = float(payload["deadline_in_s"])
+        except (TypeError, ValueError):
+            raise HttpError(400, "bad_field", "deadline_in_s must be a number") from None
+        deadline_s = time.monotonic() + deadline_in
+    client_id = str(payload.get("client_id", ""))
+    return ScanRequest(
+        session_id=session_id,
+        cloud=cloud,
+        origin=origin,
+        max_range=max_range,
+        priority=priority,
+        deadline_s=deadline_s,
+        client_id=client_id,
+    )
+
+
+_CONFIG_FIELDS = (
+    "num_shards",
+    "shard_prefix_levels",
+    "backend",
+    "pipelined",
+    "mp_start_method",
+    "scheduler_policy",
+    "batch_size",
+    "cache_capacity",
+    "default_max_range",
+    "admission_queue_limit",
+)
+
+
+def session_config_from_payload(
+    default: SessionConfig, payload: Optional[Mapping]
+) -> Optional[SessionConfig]:
+    """Derive a session config from the service default plus JSON overrides.
+
+    ``None``/empty payload means "adopt the service default" (returns
+    ``None`` so ``get_or_create_session`` skips the conflict check).  The
+    overridable knobs are the scalar :class:`SessionConfig` fields plus
+    ``resolution_m``; unknown keys and invalid values raise
+    :class:`HttpError` 400.
+    """
+    if not payload:
+        return None
+    overrides = dict(payload)
+    resolution = overrides.pop("resolution_m", None)
+    unknown = sorted(set(overrides) - set(_CONFIG_FIELDS))
+    if unknown:
+        raise HttpError(
+            400,
+            "bad_config",
+            f"unknown session config field(s) {unknown}; "
+            f"allowed: {sorted(_CONFIG_FIELDS + ('resolution_m',))}",
+        )
+    try:
+        config = replace(default, **overrides)
+        if resolution is not None:
+            config = config.with_resolution(float(resolution))
+    except (TypeError, ValueError) as error:
+        raise HttpError(400, "bad_config", f"bad session config: {error}") from None
+    return config
+
+
+def receipt_payload(receipt: IngestReceipt) -> dict:
+    return {
+        "request_id": receipt.request_id,
+        "session_id": receipt.session_id,
+        "num_points": receipt.num_points,
+        "queue_depth": receipt.queue_depth,
+    }
+
+
+def report_payload(report: BatchReport) -> dict:
+    return {
+        "session_id": report.session_id,
+        "batch_id": report.batch_id,
+        "request_ids": list(report.request_ids),
+        "scans": report.scans,
+        "rays_cast": report.rays_cast,
+        "voxel_updates": report.voxel_updates,
+        "duplicates_removed": report.duplicates_removed,
+        "shard_updates": list(report.shard_updates),
+        "modelled_cycles": report.modelled_cycles,
+        "wall_seconds": report.wall_seconds,
+        "pipelined": report.pipelined,
+        "backend": report.backend,
+        "deadline_misses": report.deadline_misses,
+    }
+
+
+def query_payload(response: QueryResponse) -> dict:
+    return {
+        "status": response.status,
+        "probability": response.probability,
+        "shard_id": response.shard_id,
+        "cached": response.cached,
+        "cycles": response.cycles,
+    }
+
+
+def bbox_payload(summary: BoxOccupancySummary) -> dict:
+    return {
+        "occupied": summary.occupied,
+        "free": summary.free,
+        "unknown": summary.unknown,
+        "voxels_scanned": summary.voxels_scanned,
+        "cache_hits": summary.cache_hits,
+    }
+
+
+def bbox_chunk_payload(chunk: BboxChunk, include_voxels: bool = True) -> dict:
+    payload = {
+        "chunk": chunk.index,
+        "occupied": chunk.occupied,
+        "free": chunk.free,
+        "unknown": chunk.unknown,
+        "cache_hits": chunk.cache_hits,
+        "voxels_total": chunk.voxels_total,
+    }
+    if include_voxels:
+        payload["voxels"] = [list(voxel) for voxel in chunk.voxels]
+    return payload
+
+
+def raycast_payload(response: RaycastResponse) -> dict:
+    return {
+        "hit": response.hit,
+        "hit_point": list(response.hit_point) if response.hit_point else None,
+        "distance": response.distance,
+        "voxels_traversed": response.voxels_traversed,
+        "cache_hits": response.cache_hits,
+    }
+
+
+def session_stats_payload(stats: SessionStats) -> dict:
+    """One session's counters as machine-readable JSON (no table rendering)."""
+    return {
+        "session_id": stats.session_id,
+        "backend": stats.backend_name,
+        "num_shards": stats.num_shards,
+        "pipelined": stats.pipelined,
+        "ingest": {
+            "scans": stats.scans_ingested,
+            "points": stats.points_ingested,
+            "rays_cast": stats.rays_cast,
+            "voxel_updates": stats.voxel_updates,
+            "duplicates_removed": stats.duplicates_removed,
+            "batches": stats.batches_dispatched,
+            "deadline_misses": stats.deadline_misses,
+            "modelled_cycles": stats.modelled_ingest_cycles,
+            "wall_seconds": stats.ingest_wall_seconds,
+            "updates_per_second_wall": stats.wall_updates_per_second,
+            "shard_updates": list(stats.shard_updates),
+        },
+        "admission": {
+            "async_submits": stats.async_submits,
+            "waits": stats.admission_waits,
+            "wait_seconds": stats.admission_wait_seconds,
+            "rejects": stats.queue_rejects,
+            "queue_high_water": stats.admission_queue_high_water,
+        },
+        "queries": {
+            "point": stats.point_queries,
+            "batch": stats.batch_queries,
+            "bbox": stats.bbox_queries,
+            "raycast": stats.raycast_queries,
+            "cache_hits": stats.cache.hits,
+            "cache_misses": stats.cache.misses,
+            "cache_hit_rate": stats.cache.hit_rate,
+        },
+    }
+
+
+def _list_payloads(items: Sequence, codec) -> List[dict]:
+    return [codec(item) for item in items]

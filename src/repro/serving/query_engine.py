@@ -12,7 +12,7 @@ they share the cache and its invalidation rules.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.octomap.keys import OcTreeKey
 from repro.octomap.raycast import compute_ray_keys
@@ -22,6 +22,7 @@ from repro.serving.cache import GenerationLRUCache
 from repro.serving.sharding import ShardRouter
 from repro.serving.stats import SessionStats
 from repro.serving.types import (
+    BboxChunk,
     BoxOccupancySummary,
     QueryResponse,
     RaycastResponse,
@@ -112,12 +113,10 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Bounding-box sweeps
     # ------------------------------------------------------------------
-    def query_bbox(
-        self,
-        minimum: Sequence[float],
-        maximum: Sequence[float],
-    ) -> BoxOccupancySummary:
-        """Classify every voxel whose centre lies inside an axis-aligned box.
+    def _bbox_ranges(
+        self, minimum: Sequence[float], maximum: Sequence[float]
+    ) -> Tuple[List[range], int]:
+        """Validated per-axis voxel-index ranges of a box sweep, plus its size.
 
         Raises:
             ValueError: when the box covers more than ``max_box_voxels``
@@ -143,9 +142,64 @@ class QueryEngine:
                 f"box covers {total} voxels, above the {self.max_box_voxels} guardrail; "
                 "split the sweep or raise max_box_voxels"
             )
+        return ranges, total
+
+    def iter_bbox(
+        self,
+        minimum: Sequence[float],
+        maximum: Sequence[float],
+        chunk_voxels: int = 1024,
+        include_voxels: bool = True,
+    ) -> Iterator[BboxChunk]:
+        """Stream a bounding-box sweep as bounded-size classified chunks.
+
+        The generator yields :class:`~repro.serving.types.BboxChunk` slices
+        of at most ``chunk_voxels`` classified voxel centres each, in sweep
+        order, so a consumer (the HTTP chunked-transfer response, a progress
+        bar) never holds the whole box in memory.  Validation -- inverted
+        box, the ``max_box_voxels`` guardrail -- happens eagerly, before the
+        first chunk is requested.
+
+        Concatenating every chunk reproduces exactly what
+        :meth:`query_bbox` aggregates (it is implemented on top of this).
+        ``include_voxels=False`` keeps the per-voxel tuples out of the chunks
+        (counts only) for consumers that aggregate.
+        """
+        if chunk_voxels < 1:
+            raise ValueError("chunk_voxels must be at least 1")
+        ranges, total = self._bbox_ranges(minimum, maximum)
         self.stats.bbox_queries += 1
-        hits_before = self.cache.stats.hits
+        return self._iter_bbox_chunks(ranges, total, chunk_voxels, include_voxels)
+
+    def _iter_bbox_chunks(
+        self, ranges: List[range], total: int, chunk_voxels: int, include_voxels: bool
+    ) -> Iterator[BboxChunk]:
+        resolution = self.router.converter.resolution
+        index = 0
+        in_chunk = 0
+        voxels: List[Tuple[float, float, float, str]] = []
         occupied = free = unknown = 0
+        hits_before = self.cache.stats.hits
+
+        def flush_chunk() -> BboxChunk:
+            nonlocal index, in_chunk, voxels, occupied, free, unknown, hits_before
+            hits_now = self.cache.stats.hits
+            chunk = BboxChunk(
+                index=index,
+                voxels=tuple(voxels),
+                occupied=occupied,
+                free=free,
+                unknown=unknown,
+                cache_hits=hits_now - hits_before,
+                voxels_total=total,
+            )
+            index += 1
+            in_chunk = 0
+            voxels = []
+            occupied = free = unknown = 0
+            hits_before = hits_now
+            return chunk
+
         for ix in ranges[0]:
             x = (ix + 0.5) * resolution
             for iy in ranges[1]:
@@ -153,18 +207,47 @@ class QueryEngine:
                 for iz in ranges[2]:
                     z = (iz + 0.5) * resolution
                     status = self.query(x, y, z).status
+                    if include_voxels:
+                        voxels.append((x, y, z, status))
+                    in_chunk += 1
                     if status == "occupied":
                         occupied += 1
                     elif status == "free":
                         free += 1
                     else:
                         unknown += 1
+                    if in_chunk >= chunk_voxels:
+                        yield flush_chunk()
+        if in_chunk or index == 0:
+            yield flush_chunk()
+
+    def query_bbox(
+        self,
+        minimum: Sequence[float],
+        maximum: Sequence[float],
+    ) -> BoxOccupancySummary:
+        """Classify every voxel whose centre lies inside an axis-aligned box.
+
+        Raises:
+            ValueError: when the box covers more than ``max_box_voxels``
+                voxels (guardrail against accidental whole-map sweeps) or is
+                inverted.
+        """
+        occupied = free = unknown = scanned = cache_hits = 0
+        for chunk in self.iter_bbox(
+            minimum, maximum, chunk_voxels=self.max_box_voxels, include_voxels=False
+        ):
+            occupied += chunk.occupied
+            free += chunk.free
+            unknown += chunk.unknown
+            cache_hits += chunk.cache_hits
+            scanned = chunk.voxels_total
         return BoxOccupancySummary(
             occupied=occupied,
             free=free,
             unknown=unknown,
-            voxels_scanned=total,
-            cache_hits=self.cache.stats.hits - hits_before,
+            voxels_scanned=scanned,
+            cache_hits=cache_hits,
         )
 
     # ------------------------------------------------------------------

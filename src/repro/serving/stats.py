@@ -51,6 +51,10 @@ class SessionStats:
     pipelined_batches: int = 0
     shard_updates: List[int] = field(default_factory=list)
     queue_high_water: int = 0
+    #: requests whose ``deadline_s`` (``time.monotonic`` clock) had already
+    #: passed when the scheduler popped them for a flush -- the QoS figure
+    #: the deadline scheduler is meant to minimise.
+    deadline_misses: int = 0
     # --- async admission (filled by repro.serving.aio) ---
     #: requests accepted through the asyncio front end.
     async_submits: int = 0
@@ -168,6 +172,7 @@ class ServiceStats:
         "Updates",
         "Dedup (%)",
         "Batches",
+        "Deadline misses",
         "Modelled cycles",
         "Wall (s)",
     )
@@ -257,6 +262,7 @@ class ServiceStats:
                 stats.voxel_updates,
                 100.0 * stats.dedup_fraction,
                 stats.batches_dispatched,
+                stats.deadline_misses,
                 stats.modelled_ingest_cycles,
                 stats.ingest_wall_seconds,
             )

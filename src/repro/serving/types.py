@@ -32,6 +32,7 @@ __all__ = [
     "BatchReport",
     "QueryResponse",
     "BoxOccupancySummary",
+    "BboxChunk",
     "RaycastResponse",
     "ShardUpdateBatch",
     "ShardApplyResult",
@@ -51,8 +52,10 @@ class ScanRequest:
         origin: sensor origin in the world frame.
         max_range: beam truncation range (``-1`` disables truncation).
         priority: larger values are served first by the priority scheduler.
-        deadline_s: absolute service deadline in seconds (earliest-deadline-
-            first scheduling); ``inf`` means "no deadline".
+        deadline_s: absolute service deadline on the ``time.monotonic`` clock
+            (earliest-deadline-first scheduling; a request popped for a flush
+            after its deadline is counted as a deadline miss); ``inf`` means
+            "no deadline".
         client_id: opaque client tag carried through to the stats layer.
         request_id: service-assigned monotonically increasing id; also the
             FIFO tiebreaker of every scheduler, so equal-priority /
@@ -139,6 +142,9 @@ class BatchReport:
             batch was still in flight on the workers (the overlap window the
             pipelined mode exists to open).
         backend: name of the shard execution backend that applied the batch.
+        deadline_misses: requests in the batch whose ``deadline_s`` had
+            already passed (on the ``time.monotonic`` clock) when the
+            scheduler popped them for this flush.
     """
 
     session_id: str
@@ -158,6 +164,7 @@ class BatchReport:
     pipelined: bool = False
     overlapped: bool = False
     backend: str = "inline"
+    deadline_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -198,6 +205,34 @@ class BoxOccupancySummary:
     def any_occupied(self) -> bool:
         """True when at least one voxel inside the box is occupied."""
         return self.occupied > 0
+
+
+@dataclass(frozen=True)
+class BboxChunk:
+    """One bounded slice of a streamed bounding-box sweep.
+
+    :meth:`~repro.serving.query_engine.QueryEngine.iter_bbox` yields these
+    instead of materialising a whole-box result, so a network front end can
+    relay each slice as one chunked-transfer frame while the sweep is still
+    running.
+
+    Attributes:
+        index: zero-based position of the chunk within its sweep.
+        voxels: classified voxel centres ``(x, y, z, status)`` in sweep
+            order, at most the sweep's ``chunk_voxels`` of them.
+        occupied / free / unknown: per-status counts within this chunk.
+        cache_hits: chunk lookups served from the query cache.
+        voxels_total: size of the *whole* sweep in voxels (every chunk
+            carries it, so a consumer can report progress from any frame).
+    """
+
+    index: int
+    voxels: Tuple[Tuple[float, float, float, str], ...]
+    occupied: int
+    free: int
+    unknown: int
+    cache_hits: int
+    voxels_total: int
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,7 @@ from repro.analysis import run_service_workload, service_scaling_experiment
 from repro.analysis.service import (
     backend_scaling_experiment,
     frontend_scaling_experiment,
+    http_frontend_experiment,
     main,
     run_async_service_workload,
     write_benchmark_json,
@@ -180,4 +181,50 @@ def test_service_main_writes_json(tmp_path, capsys):
     assert [entry["experiment_id"] for entry in payload["experiments"]] == [
         "backend_scaling",
         "frontend_scaling",
+        "http_frontend",
     ]
+    http = payload["experiments"][2]
+    # {in-process, http} per client count, identical ingestion per pair.
+    assert {r["Transport"] for r in http["records"]} == {"in-process", "http"}
+    by_count = {}
+    for record in http["records"]:
+        by_count.setdefault(record["Clients"], set()).add(record["Updates"])
+    assert all(len(updates) == 1 for updates in by_count.values())
+
+
+def test_service_main_can_skip_the_http_sweep(tmp_path, capsys):
+    out = tmp_path / "BENCH_serving.json"
+    exit_code = main(
+        [
+            "--out", str(out),
+            "--backends", "inline",
+            "--shards", "1",
+            "--scans", "1",
+            "--clients", "1",
+            "--skip-scheduler-sweep",
+            "--skip-http-sweep",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert [entry["experiment_id"] for entry in payload["experiments"]] == [
+        "backend_scaling",
+        "frontend_scaling",
+    ]
+
+
+def test_http_frontend_experiment_prices_the_network_hop():
+    result = http_frontend_experiment(
+        client_counts=(1,), scans_per_client=1, num_shards=1, batch_size=1
+    )
+    assert result.experiment_id == "http_frontend"
+    records = result.records()
+    assert {r["Transport"] for r in records} == {"in-process", "http"}
+    in_process = next(r for r in records if r["Transport"] == "in-process")
+    http = next(r for r in records if r["Transport"] == "http")
+    # Same stream underneath: the two transports ingest identical updates.
+    assert in_process["Updates"] == http["Updates"]
+    assert in_process["Scans"] == http["Scans"] == 1
+    for record in records:
+        assert record["Mean admit (ms)"] >= 0.0
+        assert record["Max admit (ms)"] >= record["Mean admit (ms)"]

@@ -432,3 +432,109 @@ async def test_wrapping_an_existing_manager_reuses_its_sessions():
         await service.flush("map")
         assert manager.get_session("map").stats.scans_ingested == 2
     assert manager.get_session("map").closed
+
+
+# ---------------------------------------------------------------------------
+# Streaming bounding-box sweeps
+# ---------------------------------------------------------------------------
+@async_test
+async def test_stream_bbox_matches_the_aggregate_sweep():
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=2, batch_size=4)
+    ) as service:
+        for request in _requests(3):
+            await service.submit(request)
+        await service.flush("map")
+        minimum, maximum = (-1.0, -1.0, 0.0), (1.0, 1.0, 0.4)
+        summary = await service.query_bbox("map", minimum, maximum)
+        chunks = [
+            chunk
+            async for chunk in service.stream_bbox(
+                "map", minimum, maximum, chunk_voxels=9
+            )
+        ]
+        assert all(len(chunk.voxels) <= 9 for chunk in chunks)
+        assert sum(len(chunk.voxels) for chunk in chunks) == summary.voxels_scanned
+        assert sum(chunk.occupied for chunk in chunks) == summary.occupied
+        assert sum(chunk.free for chunk in chunks) == summary.free
+        assert sum(chunk.unknown for chunk in chunks) == summary.unknown
+
+
+@async_test
+async def test_stream_bbox_validates_before_the_first_chunk():
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=1, batch_size=2)
+    ) as service:
+        service.get_or_create_session("map")
+        with pytest.raises(ValueError, match="inverted box"):
+            async for _ in service.stream_bbox("map", (1.0, 0.0, 0.0), (-1.0, 0.0, 0.0)):
+                raise AssertionError("no chunk should be produced")
+
+
+@async_test
+async def test_stream_bbox_interleaves_with_ingestion():
+    """The session lock is released between chunks: a submit+flush landing
+    mid-stream must neither deadlock nor corrupt the sweep's accounting."""
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=2, batch_size=2)
+    ) as service:
+        requests = _requests(6)
+        for request in requests[:3]:
+            await service.submit(request)
+        await service.flush("map")
+        stream = service.stream_bbox(
+            "map", (-1.0, -1.0, 0.0), (1.0, 1.0, 0.4), chunk_voxels=5
+        )
+        total = 0
+        first = await stream.__anext__()
+        total += len(first.voxels)
+        for request in requests[3:]:
+            await service.submit(request)
+        await service.flush("map")
+        async for chunk in stream:
+            total += len(chunk.voxels)
+        assert total == first.voxels_total
+
+
+# ---------------------------------------------------------------------------
+# Per-session retirement
+# ---------------------------------------------------------------------------
+@async_test
+async def test_close_session_drains_and_retires():
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=2, batch_size=4)
+    ) as service:
+        for request in _requests(3):
+            await service.submit(request)
+        session = service.manager.get_session("map")
+        await service.close_session("map")
+        assert session.stats.scans_ingested == 3, "drain reached the map"
+        assert "map" not in service.manager
+        assert "map" not in service.session_ids()
+        assert session.closed
+        with pytest.raises(KeyError):
+            await service.query("map", 0.0, 0.0, 0.2)
+
+
+@async_test
+async def test_close_session_unknown_raises_keyerror():
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=1)
+    ) as service:
+        with pytest.raises(KeyError):
+            await service.close_session("never-created")
+
+
+@async_test
+async def test_export_octree_coroutine_matches_session_export():
+    async with AsyncMapService(
+        default_config=SessionConfig(num_shards=2, batch_size=4)
+    ) as service:
+        for request in _requests(3):
+            await service.submit(request)
+        await service.flush("map")
+        tree = await service.export_octree("map")
+        assert tree.num_leaf_nodes() > 0
+        direct = service.manager.get_session("map").export_octree()
+        report = compare_trees(tree, direct, 1e-9)
+        assert report.equivalent, report.summary()

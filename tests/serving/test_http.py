@@ -1,0 +1,448 @@
+"""Socket-level integration tests for the HTTP network API.
+
+Every test runs a real :class:`HttpMapServer` on an ephemeral loopback port
+and talks to it through :class:`MapServiceClient` (or raw sockets for the
+framing error paths), so the whole stack -- framing, routing, codecs,
+uploads, jobs, and the :class:`AsyncMapService` underneath -- is exercised
+exactly as a network caller sees it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.verification import compare_trees
+from repro.octomap import PointCloud
+from repro.octomap.serialization import deserialize_tree
+from repro.serving import AsyncMapService, ScanRequest, SessionConfig
+from repro.serving.http import HttpMapServer, MapServiceClient, ServerError
+from repro.serving.http.uploads import UploadManager
+from test_aio import _reference_tree
+
+pytestmark = pytest.mark.filterwarnings(
+    "error:coroutine .* was never awaited:RuntimeWarning"
+)
+
+
+def async_test(coro):
+    """Run a coroutine test function on a fresh event loop."""
+
+    @functools.wraps(coro)
+    def wrapper(*args, **kwargs):
+        return asyncio.run(coro(*args, **kwargs))
+
+    return wrapper
+
+
+class serve:
+    """``async with serve() as (server, client):`` -- a live server + client.
+
+    Owns the :class:`AsyncMapService` too: the server never closes the
+    service, so the fixture drains it after the server stops accepting.
+    """
+
+    def __init__(self, config: SessionConfig = None, **server_kwargs) -> None:
+        self.config = config or SessionConfig(num_shards=2, batch_size=4)
+        self.server_kwargs = server_kwargs
+
+    async def __aenter__(self):
+        self.service = AsyncMapService(default_config=self.config)
+        self.server = HttpMapServer(self.service, port=0, **self.server_kwargs)
+        await self.server.start()
+        host, port = self.server.address
+        return self.server, MapServiceClient(host, port)
+
+    async def __aexit__(self, *exc_info):
+        await self.server.close()
+        await self.service.close(drain=True)
+
+
+def _scan_payloads(count: int, seed: int = 7):
+    """JSON scan payloads mirroring ``test_aio._requests`` geometry."""
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "points": rng.uniform(-3.0, 3.0, size=(20, 3)).tolist(),
+            "origin": [0.0, 0.1 * index, 0.2],
+            "max_range": 5.0,
+        }
+        for index in range(count)
+    ]
+
+
+def _as_request(payload: dict, session_id: str = "map") -> ScanRequest:
+    """The in-process twin of a JSON scan payload (for reference trees)."""
+    return ScanRequest(
+        session_id=session_id,
+        cloud=PointCloud(payload["points"]),
+        origin=tuple(payload["origin"]),
+        max_range=payload.get("max_range", -1.0),
+    )
+
+
+async def _raw_exchange(host: str, port: int, raw: bytes) -> bytes:
+    """Send raw bytes, return the full response (framing error paths)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(raw)
+        await writer.drain()
+        return await reader.read(65536)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Health, sessions, round trip
+# ---------------------------------------------------------------------------
+@async_test
+async def test_healthz_and_session_lifecycle():
+    async with serve() as (server, client):
+        health = await client.healthz()
+        assert health["status"] == "ok"
+        assert health["sessions"] == 0
+
+        created = await client.create_session("map", {"scheduler_policy": "priority"})
+        assert created["created"] is True
+        assert created["scheduler_policy"] == "priority"
+        again = await client.create_session("map")
+        assert again["created"] is False
+        assert await client.list_sessions() == ["map"]
+
+        closed = await client.delete_session("map")
+        assert closed["closed"] is True
+        assert await client.list_sessions() == []
+        with pytest.raises(ServerError) as excinfo:
+            await client.delete_session("map")
+        assert excinfo.value.status == 404
+
+
+@async_test
+async def test_submit_flush_query_roundtrip_over_the_wire():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        payloads = _scan_payloads(3)
+        receipts = [
+            await client.submit_scan("map", p["points"], p["origin"], max_range=5.0)
+            for p in payloads
+        ]
+        assert [r["request_id"] for r in receipts] == sorted(
+            r["request_id"] for r in receipts
+        )
+        reports = await client.flush("map")
+        assert sum(report["scans"] for report in reports) == 3
+
+        # The map over HTTP equals sequential in-process insertion.
+        session = server.service.manager.get_session("map")
+        reference = _reference_tree(session, [_as_request(p) for p in payloads])
+        tolerance = session.config.accelerator.fixed_point.scale / 2.0
+        diff = compare_trees(reference, session.export_octree(), tolerance)
+        assert diff.equivalent, diff.summary()
+
+        box = await client.query_bbox("map", (-3.0, -3.0, -3.0), (3.0, 3.0, 3.0))
+        assert box["occupied"] > 0
+        batch = await client.query_batch("map", [[0.0, 0.0, 0.2], [1.0, 0.1, 0.2]])
+        assert len(batch) == 2 and all(
+            r["status"] in ("occupied", "free", "unknown") for r in batch
+        )
+        ray = await client.raycast("map", [0.0, 0.0, 0.2], [1.0, 0.0, 0.0], 6.0)
+        assert isinstance(ray["hit"], bool)
+
+        stats = await client.session_stats("map")
+        assert stats["ingest"]["scans"] == 3
+        assert stats["queries"]["bbox"] == 1
+
+
+@async_test
+async def test_streamed_bbox_frames_match_the_aggregate():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        for payload in _scan_payloads(3):
+            await client.submit_scan(
+                "map", payload["points"], payload["origin"], max_range=5.0
+            )
+        await client.flush("map")
+        minimum, maximum = (-1.0, -1.0, 0.0), (1.0, 1.0, 0.4)
+        aggregate = await client.query_bbox("map", minimum, maximum)
+        frames = [
+            frame
+            async for frame in client.stream_bbox(
+                "map", minimum, maximum, chunk_voxels=16
+            )
+        ]
+        assert len(frames) > 1, "the sweep actually chunked"
+        assert all(len(frame["voxels"]) <= 16 for frame in frames)
+        assert sum(len(frame["voxels"]) for frame in frames) == aggregate["voxels_scanned"]
+        assert sum(frame["occupied"] for frame in frames) == aggregate["occupied"]
+        assert sum(frame["free"] for frame in frames) == aggregate["free"]
+        # Streaming an inverted box fails before the head is committed.
+        with pytest.raises(ServerError) as excinfo:
+            async for _ in client.stream_bbox("map", (1.0, 0.0, 0.0), (0.0, 0.0, 0.0)):
+                raise AssertionError("no frame expected")
+        assert excinfo.value.status == 400
+
+
+@async_test
+async def test_deadline_misses_surface_in_http_stats():
+    async with serve(
+        SessionConfig(num_shards=1, batch_size=4, scheduler_policy="deadline")
+    ) as (server, client):
+        await client.create_session("map")
+        payload = _scan_payloads(1)[0]
+        # An already-expired relative deadline must be counted at dispatch.
+        await client.submit_scan(
+            "map",
+            payload["points"],
+            payload["origin"],
+            max_range=5.0,
+            deadline_in_s=-1.0,
+        )
+        await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+        reports = await client.flush("map")
+        assert sum(report["deadline_misses"] for report in reports) == 1
+        stats = await client.session_stats("map")
+        assert stats["ingest"]["deadline_misses"] == 1
+        totals = (await client.stats())["totals"]
+        assert totals["deadline_misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Error paths
+# ---------------------------------------------------------------------------
+@async_test
+async def test_malformed_json_is_a_400_with_a_stable_code():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        host, port = server.address
+        body = b"{this is not json"
+        raw = (
+            f"POST /v1/sessions/map/scans HTTP/1.1\r\nHost: h\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode() + body
+        response = await _raw_exchange(host, port, raw)
+        head, _, payload = response.partition(b"\r\n\r\n")
+        assert b"400 Bad Request" in head
+        assert json.loads(payload)["error"]["code"] == "bad_json"
+
+
+@async_test
+async def test_unknown_session_job_and_route_are_404s():
+    async with serve() as (server, client):
+        payload = _scan_payloads(1)[0]
+        with pytest.raises(ServerError) as excinfo:
+            await client.submit_scan("ghost", payload["points"], payload["origin"])
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "unknown_resource"
+        with pytest.raises(ServerError) as excinfo:
+            await client.get_job("job-999")
+        assert (excinfo.value.status, excinfo.value.code) == (404, "unknown_job")
+        for method, path in (("GET", "/v1/nonsense"), ("PATCH", "/v1/sessions")):
+            with pytest.raises(ServerError) as excinfo:
+                await client._call(method, path)
+            assert (excinfo.value.status, excinfo.value.code) == (404, "unknown_route")
+            # The error body advertises the API surface.
+            assert any("/v1/sessions" in route for route in excinfo.value.detail["api"])
+
+
+@async_test
+async def test_oversized_body_is_refused_with_413_before_reading_it():
+    async with serve(max_body_bytes=512) as (server, client):
+        await client.create_session("map")
+        big = _scan_payloads(1, seed=3)[0]
+        big["points"] = (np.zeros((200, 3)) + 1.0).tolist()  # >512 bytes of JSON
+        with pytest.raises(ServerError) as excinfo:
+            await client.submit_scan("map", big["points"], big["origin"])
+        assert (excinfo.value.status, excinfo.value.code) == (413, "body_too_large")
+
+
+@async_test
+async def test_upload_error_paths_over_the_wire():
+    async with serve(uploads=UploadManager(max_chunk_bytes=64)) as (server, client):
+        await client.create_session("map")
+        init = await client.init_upload("map", total_chunks=2)
+        upload_id = init["upload_id"]
+
+        with pytest.raises(ServerError) as excinfo:
+            await client.put_chunk("map", upload_id, 0, b"x" * 65)
+        assert (excinfo.value.status, excinfo.value.code) == (413, "chunk_too_large")
+
+        await client.put_chunk("map", upload_id, 0, b'{"scans": ')
+        with pytest.raises(ServerError) as excinfo:
+            await client.commit_upload("map", upload_id)
+        assert (excinfo.value.status, excinfo.value.code) == (409, "upload_incomplete")
+        assert excinfo.value.detail == {"missing_chunks": [1]}
+
+        status = await client.upload_status("map", upload_id)
+        assert status["missing_chunks"] == [1]
+        with pytest.raises(ServerError) as excinfo:
+            await client.put_chunk("map", "upload-999", 0, b"data")
+        assert excinfo.value.status == 404
+        aborted = await client.abort_upload("map", upload_id)
+        assert aborted["aborted"] is True
+
+
+# ---------------------------------------------------------------------------
+# Chunked upload round trip
+# ---------------------------------------------------------------------------
+@async_test
+async def test_chunked_upload_roundtrips_a_batch_above_the_body_limit():
+    async with serve(max_body_bytes=2048) as (server, client):
+        await client.create_session("map")
+        scans = [{**p, "max_range": 5.0} for p in _scan_payloads(6, seed=11)]
+        blob_bytes = len(json.dumps({"scans": scans}).encode())
+        assert blob_bytes > 2048, "the batch genuinely exceeds one body"
+
+        commit = await client.upload_scans("map", scans, chunk_bytes=1024)
+        assert commit["submitted"] == 6
+        assert len(commit["receipts"]) == 6
+        await client.flush("map")
+
+        # Upload-path ingestion equals sequential in-process insertion.
+        session = server.service.manager.get_session("map")
+        reference = _reference_tree(session, [_as_request(s) for s in scans])
+        tolerance = session.config.accelerator.fixed_point.scale / 2.0
+        diff = compare_trees(reference, session.export_octree(), tolerance)
+        assert diff.equivalent, diff.summary()
+        box = await client.query_bbox("map", (-3.0, -3.0, -3.0), (3.0, 3.0, 3.0))
+        assert box["occupied"] > 0
+        assert (await client.healthz())["pending_upload_bytes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+@async_test
+async def test_export_job_runs_to_done_and_serves_the_artifact():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        for payload in _scan_payloads(3):
+            await client.submit_scan(
+                "map", payload["points"], payload["origin"], max_range=5.0
+            )
+        started = await client.start_export("map")
+        assert started["status"] in ("pending", "running")
+        job_id = started["job_id"]
+
+        record = await client.wait_job(job_id)
+        assert record["status"] == "done"
+        # The full progression is observable from the history even though
+        # polling may have missed the live stages.
+        assert record["history"][:2] == ["pending", "running"]
+        assert record["history"][-1] == "done"
+        assert {"flush", "export", "serialize"} <= set(record["history"])
+        assert record["result"]["occupied_leafs"] > 0
+        assert record["has_artifact"] is True
+
+        artifact = await client.job_result(job_id)
+        assert isinstance(artifact, bytes)
+        tree = deserialize_tree(artifact)
+        direct = server.service.manager.get_session("map").export_octree()
+        diff = compare_trees(tree, direct, 1e-9)
+        assert diff.equivalent, diff.summary()
+        assert any(job["job_id"] == job_id for job in await client.list_jobs())
+
+
+@async_test
+async def test_export_of_unknown_session_is_a_404_not_a_failed_job():
+    async with serve() as (server, client):
+        with pytest.raises(ServerError) as excinfo:
+            await client.start_export("ghost")
+        assert excinfo.value.status == 404
+        assert await client.list_jobs() == []
+
+
+@async_test
+async def test_job_result_of_an_unfinished_job_is_a_409():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        started = await client.start_flush_all()
+        record = await client.wait_job(started["job_id"])
+        assert record["status"] == "done"
+        # flush_all has no artifact: the result endpoint serves the JSON result.
+        result = await client.job_result(started["job_id"])
+        assert isinstance(result, dict)
+
+
+# ---------------------------------------------------------------------------
+# Multi-client equivalence across backends
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+@async_test
+async def test_concurrent_http_clients_match_sequential_insertion(backend):
+    config = SessionConfig(
+        num_shards=2,
+        batch_size=3,
+        backend=backend,
+        mp_start_method=(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        ),
+    )
+    async with serve(config) as (server, client):
+        # Create before any executor thread exists (process-backend rule).
+        await client.create_session("map")
+        payloads = _scan_payloads(9, seed=23)
+
+        async def run_client(worker: int):
+            own = MapServiceClient(*server.address)
+            receipts = {}
+            for payload in payloads[worker::3]:
+                receipt = await own.submit_scan(
+                    "map",
+                    payload["points"],
+                    payload["origin"],
+                    max_range=5.0,
+                    client_id=f"client-{worker}",
+                )
+                receipts[receipt["request_id"]] = payload
+            return receipts
+
+        by_id = {}
+        for receipts in await asyncio.gather(*(run_client(w) for w in range(3))):
+            by_id.update(receipts)
+        await client.flush("map")
+
+        session = server.service.manager.get_session("map")
+        dispatched = [
+            rid for report in session.pipeline.reports for rid in report.request_ids
+        ]
+        assert sorted(dispatched) == sorted(by_id), "every submit dispatched once"
+        reference = _reference_tree(
+            session, [_as_request(by_id[rid]) for rid in dispatched]
+        )
+        tolerance = session.config.accelerator.fixed_point.scale / 2.0
+        diff = compare_trees(reference, session.export_octree(), tolerance)
+        assert diff.equivalent, diff.summary()
+
+
+# ---------------------------------------------------------------------------
+# Shutdown hygiene
+# ---------------------------------------------------------------------------
+@async_test
+async def test_server_close_leaves_no_orphan_tasks():
+    service = AsyncMapService(default_config=SessionConfig(num_shards=1, batch_size=2))
+    server = await HttpMapServer(service, port=0).start()
+    client = MapServiceClient(*server.address)
+    await client.create_session("map")
+    payload = _scan_payloads(1)[0]
+    await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+    await server.close()
+    await service.close(drain=True)
+    assert service.manager.get_session("map").stats.scans_ingested == 1, "drained"
+    leftovers = [
+        task
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task() and not task.done()
+    ]
+    assert leftovers == [], f"orphan tasks after close: {leftovers}"
+    # The port is actually released.
+    with pytest.raises((ConnectionRefusedError, OSError)):
+        await client.healthz()

@@ -147,3 +147,54 @@ def test_classify_and_collision_shorthands(warm_session):
         break
     assert occupied_point is not None
     assert warm_session.query_engine.is_colliding(*occupied_point)
+
+
+# ---------------------------------------------------------------------------
+# Streaming bounding-box sweeps (iter_bbox)
+# ---------------------------------------------------------------------------
+def test_iter_bbox_chunks_are_bounded_and_sum_to_the_aggregate(warm_session):
+    minimum, maximum = (-1.0, -1.0, 0.0), (1.0, 1.0, 0.4)
+    summary = warm_session.query_bbox(minimum, maximum)
+    chunks = list(warm_session.query_engine.iter_bbox(minimum, maximum, chunk_voxels=7))
+    assert all(len(chunk.voxels) <= 7 for chunk in chunks)
+    assert [chunk.index for chunk in chunks] == list(range(len(chunks)))
+    assert all(chunk.voxels_total == summary.voxels_scanned for chunk in chunks)
+    assert sum(len(chunk.voxels) for chunk in chunks) == summary.voxels_scanned
+    assert sum(chunk.occupied for chunk in chunks) == summary.occupied
+    assert sum(chunk.free for chunk in chunks) == summary.free
+    assert sum(chunk.unknown for chunk in chunks) == summary.unknown
+
+
+def test_iter_bbox_voxels_match_pointwise_queries(warm_session):
+    chunks = warm_session.query_engine.iter_bbox((-0.6, -0.6, 0.0), (0.6, 0.6, 0.4))
+    for chunk in chunks:
+        for x, y, z, status in chunk.voxels:
+            assert warm_session.query(x, y, z).status == status
+
+
+def test_iter_bbox_counts_only_mode_keeps_chunks_light(warm_session):
+    chunks = list(
+        warm_session.query_engine.iter_bbox(
+            (-1.0, -1.0, 0.0), (1.0, 1.0, 0.4), chunk_voxels=16, include_voxels=False
+        )
+    )
+    assert all(chunk.voxels == () for chunk in chunks)
+    assert sum(chunk.occupied + chunk.free + chunk.unknown for chunk in chunks) > 0
+
+
+def test_iter_bbox_empty_box_yields_one_empty_chunk(warm_session):
+    chunks = list(warm_session.query_engine.iter_bbox((0.21, 0.21, 0.21), (0.29, 0.29, 0.29)))
+    assert len(chunks) == 1
+    assert chunks[0].voxels == ()
+    assert chunks[0].voxels_total == 0
+
+
+def test_iter_bbox_validates_eagerly(warm_session):
+    with pytest.raises(ValueError, match="chunk_voxels"):
+        warm_session.query_engine.iter_bbox((0.0, 0.0, 0.0), (1.0, 1.0, 1.0), chunk_voxels=0)
+    with pytest.raises(ValueError, match="inverted box"):
+        # Before the first chunk is requested, not at first iteration.
+        warm_session.query_engine.iter_bbox((1.0, 0.0, 0.0), (-1.0, 0.0, 0.0))
+    warm_session.query_engine.max_box_voxels = 10
+    with pytest.raises(ValueError, match="guardrail"):
+        warm_session.query_engine.iter_bbox((-5.0, -5.0, -5.0), (5.0, 5.0, 5.0))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import time
 
 import pytest
 
@@ -139,3 +140,62 @@ def test_pop_from_empty_raises_for_every_policy():
         assert scheduler.pop().request_id == 0
         with pytest.raises(IndexError, match="empty"):
             scheduler.pop()
+
+
+# ---------------------------------------------------------------------------
+# Missed-deadline accounting (counted by the pipeline at pop time)
+# ---------------------------------------------------------------------------
+def test_expired_deadlines_are_counted_as_misses_at_flush():
+    from repro.serving import MapSession, SessionConfig
+
+    with MapSession(
+        "map", SessionConfig(num_shards=1, batch_size=4, scheduler_policy="deadline")
+    ) as session:
+        now = time.monotonic()
+        cloud = PointCloud([(1.0, 0.0, 0.2), (1.0, 0.4, 0.2)])
+        # Two requests already past their deadline, one comfortably inside
+        # it, one with no deadline at all.
+        for deadline in (now - 10.0, now - 0.5, now + 60.0, math.inf):
+            session.submit(
+                ScanRequest(
+                    session_id="map",
+                    cloud=cloud,
+                    origin=(0.0, 0.0, 0.2),
+                    deadline_s=deadline,
+                )
+            )
+        reports = session.flush_all()
+        assert sum(report.deadline_misses for report in reports) == 2
+        assert session.stats.deadline_misses == 2
+
+
+def test_deadline_misses_are_zero_for_undeadlined_traffic():
+    from repro.serving import MapSession, SessionConfig
+
+    with MapSession("map", SessionConfig(num_shards=1, batch_size=2)) as session:
+        cloud = PointCloud([(1.0, 0.0, 0.2)])
+        for _ in range(3):
+            session.submit(ScanRequest(session_id="map", cloud=cloud, origin=(0.0, 0.0, 0.2)))
+        session.flush_all()
+        assert session.stats.deadline_misses == 0
+
+
+def test_deadline_misses_render_in_the_ingest_table():
+    from repro.serving import MapSession, SessionConfig
+    from repro.serving.stats import ServiceStats
+
+    assert "Deadline misses" in ServiceStats.INGEST_HEADERS
+    with MapSession("map", SessionConfig(num_shards=1)) as session:
+        session.submit(
+            ScanRequest(
+                session_id="map",
+                cloud=PointCloud([(1.0, 0.0, 0.2)]),
+                origin=(0.0, 0.0, 0.2),
+                deadline_s=time.monotonic() - 1.0,
+            )
+        )
+        session.flush_all()
+        stats = ServiceStats()
+        stats.register(session.stats)
+        column = ServiceStats.INGEST_HEADERS.index("Deadline misses")
+        assert stats.ingest_rows()[0][column] == 1
