@@ -24,6 +24,11 @@ ingestion pipeline and a cached query engine.
   collision-raycast queries.
 * :mod:`repro.serving.stats` -- per-session latency, throughput and cache
   counters, rendered in the :mod:`repro.analysis` table style.
+* :mod:`repro.serving.metrics` -- the queryable metrics pipeline: per-request
+  records, fixed-bucket latency histograms (p50/p95/p99 without raw-sample
+  sorting), the bounded windowed-rollup store behind ``GET /v1/metrics`` and
+  ``repro-serve --metrics-json``, and the admission QoS policies (per-tenant
+  token-bucket quotas, deadline-miss shedding).
 * :mod:`repro.serving.session` -- :class:`MapSession`, one tenant's sharded
   map.
 * :mod:`repro.serving.manager` -- :class:`MapSessionManager`, the service
@@ -122,6 +127,18 @@ from repro.serving.batching import IngestionPipeline
 from repro.serving.http import HttpMapServer, MapServiceClient
 from repro.serving.cache import CacheStats, GenerationLRUCache
 from repro.serving.manager import MapSessionManager
+from repro.serving.metrics import (
+    DeadlineShed,
+    DeadlineShedPolicy,
+    LatencyHistogram,
+    MetricsStore,
+    OperationRollup,
+    RequestRecord,
+    TenantQuota,
+    TenantQuotaExceeded,
+    TenantQuotaRegistry,
+    write_metrics_json,
+)
 from repro.serving.query_engine import QueryEngine
 from repro.serving.schedulers import (
     SCHEDULER_POLICIES,
@@ -159,6 +176,8 @@ __all__ = [
     "BoxOccupancySummary",
     "CacheStats",
     "DeadlineScheduler",
+    "DeadlineShed",
+    "DeadlineShedPolicy",
     "FifoScheduler",
     "GenerationLRUCache",
     "HttpMapServer",
@@ -166,13 +185,17 @@ __all__ = [
     "IngestScheduler",
     "IngestionPipeline",
     "InlineBackend",
+    "LatencyHistogram",
     "MapSession",
     "MapSessionManager",
     "MapServiceClient",
     "MapShardWorker",
+    "MetricsStore",
+    "OperationRollup",
     "PriorityScheduler",
     "ProcessPoolBackend",
     "QueryEngine",
+    "RequestRecord",
     "QueryResponse",
     "RaycastResponse",
     "SCHEDULER_POLICIES",
@@ -188,8 +211,12 @@ __all__ = [
     "ShardQueryResult",
     "ShardRouter",
     "ShardUpdateBatch",
+    "TenantQuota",
+    "TenantQuotaExceeded",
+    "TenantQuotaRegistry",
     "ThreadPoolBackend",
     "make_backend",
     "make_scheduler",
     "submit_interleaved_stream",
+    "write_metrics_json",
 ]

@@ -64,6 +64,17 @@ from dataclasses import dataclass, field
 from typing import AsyncIterator, Dict, List, Optional, Sequence
 
 from repro.serving.manager import MapSessionManager
+from repro.serving.metrics import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_REJECTED,
+    OUTCOME_SHED,
+    DeadlineShed,
+    DeadlineShedPolicy,
+    MetricsStore,
+    TenantQuotaExceeded,
+    TenantQuotaRegistry,
+)
 from repro.serving.session import MapSession, SessionConfig
 from repro.serving.stats import ServiceStats
 from repro.serving.types import (
@@ -103,6 +114,9 @@ class _SessionEntry:
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     #: first ingestion failure; the entry is fail-stopped once set.
     failure: Optional[BaseException] = None
+    #: deadline-miss shedding: EMA of per-request ingest cost, fed by the
+    #: flusher, consulted at admission (see repro.serving.metrics.qos).
+    shed_policy: DeadlineShedPolicy = field(default_factory=DeadlineShedPolicy)
 
 
 class AsyncMapService:
@@ -147,6 +161,9 @@ class AsyncMapService:
             raise ValueError("max_workers must be at least 1")
         self.manager = manager if manager is not None else MapSessionManager(default_config)
         self.queue_limit = queue_limit
+        #: one token bucket per tenant, shared by every session billing to
+        #: it; consulted (and lazily created) at submit admission.
+        self.quotas = TenantQuotaRegistry()
         self._entries: Dict[str, _SessionEntry] = {}
         # Sized up front (the stdlib default heuristic) rather than from the
         # session count, which is unknowable at construction time; the pool
@@ -282,6 +299,66 @@ class AsyncMapService:
         if self._closed:
             raise RuntimeError("AsyncMapService is closed")
 
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsStore:
+        """The fronted manager's metrics store (one sink per service)."""
+        return self.manager.metrics
+
+    def _timer(self):
+        """Operation start on (store clock, perf clock); None when disabled.
+
+        The instrumentation hooks pay for two clock reads per request only
+        while the store is enabled -- the disabled half of the
+        ``metrics_overhead`` benchmark skips even that.
+        """
+        store = self.manager.metrics
+        if not store.enabled:
+            return None
+        return (store.clock(), time.perf_counter())
+
+    def _record(
+        self,
+        entry: _SessionEntry,
+        operation: str,
+        outcome: str,
+        timer,
+        *,
+        num_bytes: int = 0,
+        batch_size: int = 1,
+        queue_depth: int = 0,
+        request_id: int = -1,
+    ) -> None:
+        """Emit one request record for an instrumented coroutine."""
+        if timer is None:
+            return
+        started_s, started_pc = timer
+        self.manager.metrics.observe(
+            tenant=entry.session.tenant,
+            session_id=entry.session.session_id,
+            operation=operation,
+            outcome=outcome,
+            started_s=started_s,
+            duration_s=time.perf_counter() - started_pc,
+            num_bytes=num_bytes,
+            batch_size=batch_size,
+            queue_depth=queue_depth,
+            request_id=request_id,
+        )
+
+    async def _instrumented(self, entry: _SessionEntry, operation: str, fn, *args):
+        """Run session work under the lock, recording outcome and latency."""
+        timer = self._timer()
+        try:
+            result = await self._run_locked(entry, fn, *args)
+        except Exception:
+            self._record(entry, operation, OUTCOME_ERROR, timer)
+            raise
+        self._record(entry, operation, OUTCOME_OK, timer)
+        return result
+
     async def _run_locked(self, entry: _SessionEntry, fn, *args):
         """Run session work on the executor under the session's lock."""
         loop = asyncio.get_running_loop()
@@ -299,6 +376,7 @@ class AsyncMapService:
             batch = [request]
             while len(batch) < batch_size and not entry.queue.empty():
                 batch.append(entry.queue.get_nowait())
+            ingest_started = time.perf_counter()
             try:
                 await self._run_locked(entry, self._ingest_batch, entry.session, batch)
             except asyncio.CancelledError:
@@ -319,6 +397,11 @@ class AsyncMapService:
                     await entry.queue.get()
                     entry.queue.task_done()
             else:
+                # Feed the shed policy's per-request cost estimate so the
+                # admission-time feasibility check tracks observed capacity.
+                entry.shed_policy.observe_batch(
+                    time.perf_counter() - ingest_started, len(batch)
+                )
                 for _ in batch:
                     entry.queue.task_done()
 
@@ -357,16 +440,76 @@ class AsyncMapService:
         :class:`AdmissionQueueFull` immediately and bumps the reject
         counter.  The returned receipt's ``queue_depth`` is the queue depth
         observed right after admission.
+
+        Two QoS gates run *before* queueing, so refused work never costs
+        backend time:
+
+        * a session whose config sets ``quota_points_per_s`` charges
+          ``len(request.cloud)`` points against its tenant's token bucket;
+          an exhausted bucket raises
+          :class:`~repro.serving.metrics.qos.TenantQuotaExceeded` (counted
+          as ``quota_rejects`` / metrics outcome ``rejected``);
+        * a request with a finite ``deadline_s`` that already cannot be met
+          -- given the queue depth and the observed per-request ingest cost
+          -- is dropped with
+          :class:`~repro.serving.metrics.qos.DeadlineShed` (counted as
+          ``shed_requests`` / metrics outcome ``shed``).
         """
         self._ensure_open()
         entry = self._entry(request.session_id, create=auto_create)
         stats = entry.session.stats
+        config = entry.session.config
+        timer = self._timer()
+        num_points = len(request.cloud)
+        if config.quota_points_per_s > 0.0:
+            try:
+                self.quotas.charge(
+                    entry.session.tenant,
+                    float(num_points),
+                    config.quota_points_per_s,
+                    burst_s=config.quota_burst_s,
+                )
+            except TenantQuotaExceeded:
+                stats.quota_rejects += 1
+                self._record(
+                    entry,
+                    "submit",
+                    OUTCOME_REJECTED,
+                    timer,
+                    num_bytes=num_points,
+                    queue_depth=entry.queue.qsize(),
+                )
+                raise
+        try:
+            entry.shed_policy.check(
+                request.session_id, request.deadline_s, entry.queue.qsize()
+            )
+        except DeadlineShed:
+            stats.shed_requests += 1
+            self._record(
+                entry,
+                "submit",
+                OUTCOME_SHED,
+                timer,
+                num_bytes=num_points,
+                queue_depth=entry.queue.qsize(),
+            )
+            raise
         stamped = self.manager.stamp_request(request)
         try:
             entry.queue.put_nowait(stamped)
         except asyncio.QueueFull:
             if not wait:
                 stats.queue_rejects += 1
+                self._record(
+                    entry,
+                    "submit",
+                    OUTCOME_REJECTED,
+                    timer,
+                    num_bytes=num_points,
+                    queue_depth=entry.queue.qsize(),
+                    request_id=stamped.request_id,
+                )
                 raise AdmissionQueueFull(
                     request.session_id, entry.queue.maxsize
                 ) from None
@@ -395,6 +538,15 @@ class AsyncMapService:
         stats.async_submits += 1
         depth = entry.queue.qsize()
         stats.admission_queue_high_water = max(stats.admission_queue_high_water, depth)
+        self._record(
+            entry,
+            "submit",
+            OUTCOME_OK,
+            timer,
+            num_bytes=num_points,
+            queue_depth=depth,
+            request_id=stamped.request_id,
+        )
         return IngestReceipt(
             request_id=stamped.request_id,
             session_id=stamped.session_id,
@@ -412,14 +564,21 @@ class AsyncMapService:
         """
         self._ensure_open()
         entry = self._entry(session_id)
+        timer = self._timer()
         already = len(entry.session.pipeline.reports)
-        await entry.queue.join()
-        # Surface a flusher failure that happened during the drain.
-        self._entry(session_id)
-        pipeline = entry.session.pipeline
-        if pipeline.pending() > 0 or pipeline.has_inflight:
-            await self._run_locked(entry, entry.session.flush_all)
-        return list(entry.session.pipeline.reports[already:])
+        try:
+            await entry.queue.join()
+            # Surface a flusher failure that happened during the drain.
+            self._entry(session_id)
+            pipeline = entry.session.pipeline
+            if pipeline.pending() > 0 or pipeline.has_inflight:
+                await self._run_locked(entry, entry.session.flush_all)
+        except Exception:
+            self._record(entry, "flush", OUTCOME_ERROR, timer)
+            raise
+        reports = list(entry.session.pipeline.reports[already:])
+        self._record(entry, "flush", OUTCOME_OK, timer, batch_size=len(reports))
+        return reports
 
     async def flush_all(self) -> List[BatchReport]:
         """Drain every async session's admission queue; gather the reports."""
@@ -435,7 +594,7 @@ class AsyncMapService:
         """Point occupancy query served off the event loop."""
         self._ensure_open()
         entry = self._entry(session_id)
-        return await self._run_locked(entry, entry.session.query, x, y, z)
+        return await self._instrumented(entry, "query", entry.session.query, x, y, z)
 
     async def query_batch(
         self, session_id: str, points: Sequence[Sequence[float]]
@@ -443,7 +602,9 @@ class AsyncMapService:
         """Batch point query served off the event loop."""
         self._ensure_open()
         entry = self._entry(session_id)
-        return await self._run_locked(entry, entry.session.query_batch, points)
+        return await self._instrumented(
+            entry, "query_batch", entry.session.query_batch, points
+        )
 
     async def query_bbox(
         self, session_id: str, minimum: Sequence[float], maximum: Sequence[float]
@@ -451,7 +612,9 @@ class AsyncMapService:
         """Bounding-box sweep served off the event loop."""
         self._ensure_open()
         entry = self._entry(session_id)
-        return await self._run_locked(entry, entry.session.query_bbox, minimum, maximum)
+        return await self._instrumented(
+            entry, "query_bbox", entry.session.query_bbox, minimum, maximum
+        )
 
     async def raycast(
         self,
@@ -463,8 +626,8 @@ class AsyncMapService:
         """Collision raycast served off the event loop."""
         self._ensure_open()
         entry = self._entry(session_id)
-        return await self._run_locked(
-            entry, entry.session.raycast, origin, direction, max_range
+        return await self._instrumented(
+            entry, "raycast", entry.session.raycast, origin, direction, max_range
         )
 
     async def stream_bbox(
@@ -497,12 +660,26 @@ class AsyncMapService:
             minimum, maximum, chunk_voxels=chunk_voxels, include_voxels=include_voxels
         )
         sentinel = object()
-        while True:
-            self._ensure_open()
-            chunk = await self._run_locked(entry, next, iterator, sentinel)
-            if chunk is sentinel:
-                return
-            yield chunk
+        timer = self._timer()
+        chunks = 0
+        try:
+            while True:
+                self._ensure_open()
+                chunk = await self._run_locked(entry, next, iterator, sentinel)
+                if chunk is sentinel:
+                    # One record per completed stream, chunks as batch size.
+                    self._record(
+                        entry, "stream_bbox", OUTCOME_OK, timer, batch_size=chunks
+                    )
+                    return
+                chunks += 1
+                yield chunk
+        except (GeneratorExit, asyncio.CancelledError):
+            # The consumer walked away; not the service's error to report.
+            raise
+        except Exception:
+            self._record(entry, "stream_bbox", OUTCOME_ERROR, timer, batch_size=chunks)
+            raise
 
     async def export_octree(self, session_id: str):
         """Stitch the session's shards into one software octree, off the loop.
@@ -514,7 +691,7 @@ class AsyncMapService:
         """
         self._ensure_open()
         entry = self._entry(session_id)
-        return await self._run_locked(entry, entry.session.export_octree)
+        return await self._instrumented(entry, "export", entry.session.export_octree)
 
     async def close_session(self, session_id: str, drain: bool = True) -> None:
         """Retire one session: stop its flusher and release its backend.

@@ -104,6 +104,8 @@ class IngestionPipeline:
         stats: SessionStats,
         batch_size: int = 8,
         pipelined: bool = False,
+        metrics=None,
+        tenant: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -119,6 +121,10 @@ class IngestionPipeline:
         self.stats = stats
         self.batch_size = batch_size
         self.pipelined = pipelined
+        #: optional :class:`~repro.serving.metrics.MetricsStore`; every
+        #: finalized batch emits one ``batch_apply`` record into it.
+        self.metrics = metrics
+        self.tenant = tenant if tenant is not None else session_id
         self.batches_flushed = 0
         self.reports: List[BatchReport] = []
         self._inflight: Optional[_InFlightBatch] = None
@@ -344,3 +350,17 @@ class IngestionPipeline:
             if report.overlapped:
                 self.stats.overlapped_frontend_seconds += report.frontend_seconds
         self.stats.shard_updates = list(self.backend.shard_load())
+        if self.metrics is not None and self.metrics.enabled:
+            # One record per dispatched batch: the apply/drain leg of the
+            # ingest path, on the store's clock (finalize time minus wall).
+            self.metrics.observe(
+                tenant=self.tenant,
+                session_id=self.session_id,
+                operation="batch_apply",
+                outcome="ok",
+                started_s=self.metrics.clock() - report.wall_seconds,
+                duration_s=report.wall_seconds,
+                num_bytes=report.voxel_updates,
+                batch_size=report.scans,
+                queue_depth=len(self.scheduler),
+            )

@@ -130,7 +130,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=8080,
         help="HTTP mode: bind port; 0 picks a free one (default 8080)",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the final metrics snapshot (windowed rollups, percentile "
+            "latencies, per-tenant accounting) plus the ServiceStats counters "
+            "as JSON to PATH on exit -- clean exits and SIGTERM alike"
+        ),
+    )
     return parser
+
+
+def _write_metrics(args: argparse.Namespace, manager: MapSessionManager) -> None:
+    """Dump the ``--metrics-json`` snapshot, if the flag was given."""
+    if not getattr(args, "metrics_json", None):
+        return
+    from repro.serving.metrics import write_metrics_json
+
+    path = write_metrics_json(args.metrics_json, manager.metrics, manager.service_stats)
+    print(f"Metrics snapshot written to {path}")
+
+
+def _raise_system_exit(signum, frame):  # pragma: no cover - signal path
+    """Sync-mode SIGTERM handler: unwind through ``finally`` blocks.
+
+    The asyncio modes route signals into a stop event; the synchronous demo
+    has no loop, so SIGTERM instead raises ``SystemExit`` -- the workload's
+    ``finally`` then releases the backends and writes the metrics snapshot
+    before the process exits with the conventional ``128 + signum`` code.
+    """
+    raise SystemExit(128 + signum)
 
 
 def _install_signal_handlers(stop: "asyncio.Event") -> List[int]:
@@ -220,6 +251,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return asyncio.run(_async_main(manager, stream, args))
 
     try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _raise_system_exit)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        previous_sigterm = None
+    try:
         for event in stream:
             manager.submit(
                 ScanRequest.from_scan_node(
@@ -247,8 +282,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
         print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
     finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         # Pool backends hold worker processes/threads; always release them.
         manager.shutdown()
+        _write_metrics(args, manager)
     return 0
 
 
@@ -265,12 +303,16 @@ async def _async_main(
 
     SIGINT/SIGTERM shut down gracefully: the submitters stop, admitted scans
     are drained into their maps (``close(drain=True)``), and the process
-    exits 0 with the stats of whatever was ingested.
+    exits 0 with the stats of whatever was ingested.  The handlers stay
+    installed through the drain itself -- most of the ingest work happens
+    *after* the submitters finish, and a signal landing there must still
+    produce the stats and the ``--metrics-json`` snapshot instead of
+    killing the process mid-flush.
     """
     stop = asyncio.Event()
     hooked = _install_signal_handlers(stop)
-    async with AsyncMapService(manager, queue_limit=args.queue_limit) as service:
-        try:
+    try:
+        async with AsyncMapService(manager, queue_limit=args.queue_limit) as service:
             for session_id in manager.session_ids():
                 service.get_or_create_session(session_id)
             driver = asyncio.ensure_future(submit_interleaved_stream(service, stream))
@@ -284,32 +326,33 @@ async def _async_main(
                 await driver  # surface submitter errors
             waiter.cancel()
             await asyncio.gather(waiter, return_exceptions=True)
-        finally:
-            _remove_signal_handlers(hooked)
-        await service.flush_all()
-        # Count every batch the background flushers dispatched, not just the
-        # residual tail the final flush drained.
-        batches = sum(s.batches_dispatched for s in manager.service_stats)
-        print(
-            f"Dispatched {batches} batches, "
-            f"{manager.service_stats.total_voxel_updates()} voxel updates "
-            f"({sum(s.admission_waits for s in manager.service_stats)} backpressured submits)"
-        )
+            await service.flush_all()
+            # Count every batch the background flushers dispatched, not just
+            # the residual tail the final flush drained.
+            batches = sum(s.batches_dispatched for s in manager.service_stats)
+            print(
+                f"Dispatched {batches} batches, "
+                f"{manager.service_stats.total_voxel_updates()} voxel updates "
+                f"({sum(s.admission_waits for s in manager.service_stats)} backpressured submits)"
+            )
 
-        if not stop.is_set():
-            for _ in range(max(0, args.queries)):
+            if not stop.is_set():
+                for _ in range(max(0, args.queries)):
+                    for session_id in manager.session_ids():
+                        for point in QUERY_POINTS:
+                            await service.query(session_id, *point)
                 for session_id in manager.session_ids():
-                    for point in QUERY_POINTS:
-                        await service.query(session_id, *point)
-            for session_id in manager.session_ids():
-                response = await service.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
-                hit = f"hit at {response.hit_point}" if response.hit else "no hit"
-                print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
+                    response = await service.raycast(session_id, (0.0, 0.0, 0.2), (1.0, 0.0, 0.0), 12.0)
+                    hit = f"hit at {response.hit_point}" if response.hit else "no hit"
+                    print(f"  {session_id}: forward collision ray -> {hit} ({response.voxels_traversed} voxels)")
 
-        print()
-        print(service.render_stats())
-        hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
-        print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
+            print()
+            print(service.render_stats())
+            hit_rate = 100.0 * manager.service_stats.overall_hit_rate()
+            print(f"\nOverall cache hit rate: {hit_rate:.1f}%")
+    finally:
+        _remove_signal_handlers(hooked)
+        _write_metrics(args, manager)
     return 0
 
 
@@ -349,6 +392,7 @@ async def _http_main(config: SessionConfig, args: argparse.Namespace) -> int:
     if len(service.manager.service_stats):
         print()
         print(service.render_stats())
+    _write_metrics(args, service.manager)
     print("Shutdown complete")
     return 0
 

@@ -10,20 +10,38 @@ table; the README mirrors it with curl examples.
 Error mapping is centralised in the connection handler: ``HttpError`` and
 ``UploadError`` carry their status, ``KeyError`` -> 404 unknown resource,
 ``ValueError`` -> 400, ``AdmissionQueueFull`` -> 429 with a Retry-After
-hint, anything else -> 500 with the exception class name (no traceback
-leaks).  A handler crash therefore never kills the connection loop, and a
-connection crash never kills the acceptor.
+hint, ``TenantQuotaExceeded`` -> 429 ``quota_exceeded``, ``DeadlineShed``
+-> 503 ``deadline_shed``, anything else -> 500 with the exception class
+name (no traceback leaks).  A handler crash therefore never kills the
+connection loop, and a connection crash never kills the acceptor.
+
+Observability middleware: every request is stamped with a monotonically
+increasing id, echoed back as an ``X-Request-Id`` response header (error
+responses included), and recorded into the service's
+:class:`~repro.serving.metrics.MetricsStore` under an ``http:<handler>``
+operation tag -- handler names, not raw paths, so metric cardinality stays
+bounded -- with the outcome derived from the response status (``<400`` ok,
+429 rejected, 503 shed, everything else error).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.octomap.serialization import serialize_tree
 from repro.serving.aio import AdmissionQueueFull, AsyncMapService
 from repro.serving.http.jobs import JobManager
+from repro.serving.metrics import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_REJECTED,
+    OUTCOME_SHED,
+    DeadlineShed,
+    TenantQuotaExceeded,
+)
 from repro.serving.http.uploads import UploadError, UploadManager
 from repro.serving.http.wire import (
     HttpError,
@@ -54,6 +72,8 @@ __all__ = ["HttpMapServer", "API"]
 API: Tuple[Tuple[str, str, str], ...] = (
     ("GET", "/healthz", "liveness probe"),
     ("GET", "/v1/stats", "service-wide counters (all sessions)"),
+    ("GET", "/v1/metrics", "metrics snapshot: totals + per-session windowed rollups"),
+    ("GET", "/v1/metrics/sessions/{sid}", "one session's metrics rollups"),
     ("GET", "/v1/sessions", "list sessions"),
     ("POST", "/v1/sessions", "create (or validate) a session"),
     ("GET", "/v1/sessions/{sid}", "one session's counters"),
@@ -112,6 +132,9 @@ class HttpMapServer:
         self.jobs = jobs if jobs is not None else JobManager()
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        #: monotonically increasing request counter; echoed to clients as
+        #: the ``X-Request-Id`` response header by the middleware.
+        self._http_requests = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -197,13 +220,7 @@ class HttpMapServer:
                 if request is None:
                     return
                 keep_alive = request.headers.get("connection", "keep-alive") != "close"
-                try:
-                    handled = await self._dispatch(request, writer, keep_alive)
-                except HttpError as error:
-                    await write_response(
-                        writer, error.status, error.payload(), keep_alive=keep_alive
-                    )
-                    handled = True
+                handled = await self._dispatch(request, writer, keep_alive)
                 if not handled or not keep_alive:
                     return
         except (
@@ -226,54 +243,138 @@ class HttpMapServer:
     async def _dispatch(
         self, request: HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool
     ) -> bool:
-        """Route one request; returns False when the connection must close.
+        """Middleware + routing; returns False when the connection must close.
 
-        Streaming handlers (bbox with ``stream=true``) write the response
-        themselves; everything else returns ``(status, payload)`` through
-        the common error mapping.
+        Stamps the request id (echoed as ``X-Request-Id`` on every response,
+        errors included), routes, and records one metrics record for the
+        request -- the operation tag is the handler name, the outcome is
+        derived from the response status.  Streaming handlers (bbox with
+        ``stream=true``) write the response themselves; everything else
+        returns ``(status, payload)`` through the common error mapping.
         """
+        self._http_requests += 1
+        request_id = self._http_requests
+        headers = {"X-Request-Id": str(request_id)}
+        store = self.service.metrics
+        timer = (store.clock(), time.perf_counter()) if store.enabled else None
+        operation = "http:unknown"
+        status = 500
         try:
-            route = self._route(request)
-            if route is None:
-                raise HttpError(
-                    404,
-                    "unknown_route",
-                    f"no route {request.method} {request.path}",
-                    detail={"api": [f"{m} {p}" for m, p, _ in API]},
-                )
-            handler, args = route
-            is_bbox = getattr(handler, "__func__", None) is HttpMapServer._handle_bbox
-            if is_bbox and self._wants_stream(request):
-                await self._stream_bbox(request, writer, keep_alive, *args)
+            try:
+                route = self._route(request)
+                if route is None:
+                    raise HttpError(
+                        404,
+                        "unknown_route",
+                        f"no route {request.method} {request.path}",
+                        detail={"api": [f"{m} {p}" for m, p, _ in API]},
+                    )
+                handler, args = route
+                operation = "http:" + handler.__name__.removeprefix("_handle_")
+                is_bbox = getattr(handler, "__func__", None) is HttpMapServer._handle_bbox
+                if is_bbox and self._wants_stream(request):
+                    await self._stream_bbox(
+                        request, writer, keep_alive, *args, extra_headers=headers
+                    )
+                    status = 200
+                    return True
+                status, payload = await handler(request, *args)
+                if isinstance(payload, _Raw):
+                    await write_response(
+                        writer,
+                        status,
+                        payload.data,
+                        content_type=payload.content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
+                else:
+                    await write_response(
+                        writer, status, payload, keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
                 return True
-            status, payload = await handler(request, *args)
-            if isinstance(payload, _Raw):
-                await write_response(
-                    writer,
-                    status,
-                    payload.data,
-                    content_type=payload.content_type,
-                    keep_alive=keep_alive,
-                )
-            else:
-                await write_response(writer, status, payload, keep_alive=keep_alive)
+            except HttpError:
+                raise
+            except UploadError as error:
+                raise HttpError(error.status, error.code, error.message, error.detail) from None
+            except AdmissionQueueFull as error:
+                raise HttpError(429, "admission_queue_full", str(error)) from None
+            except TenantQuotaExceeded as error:
+                raise HttpError(
+                    429,
+                    "quota_exceeded",
+                    str(error),
+                    detail={"retry_after_s": error.retry_after_s},
+                ) from None
+            except DeadlineShed as error:
+                raise HttpError(503, "deadline_shed", str(error)) from None
+            except KeyError as error:
+                raise HttpError(404, "unknown_resource", f"unknown resource: {error}") from None
+            except ValueError as error:
+                raise HttpError(400, "bad_value", str(error)) from None
+            except ConnectionError:
+                raise
+            except Exception as error:  # noqa: BLE001 - map to 500, keep serving
+                raise HttpError(
+                    500, "internal_error", f"{type(error).__name__}: {error}"
+                ) from None
+        except HttpError as error:
+            status = error.status
+            await write_response(
+                writer, error.status, error.payload(), keep_alive=keep_alive,
+                extra_headers=headers,
+            )
             return True
-        except HttpError:
-            raise
-        except UploadError as error:
-            raise HttpError(error.status, error.code, error.message, error.detail) from None
-        except AdmissionQueueFull as error:
-            raise HttpError(429, "admission_queue_full", str(error)) from None
-        except KeyError as error:
-            raise HttpError(404, "unknown_resource", f"unknown resource: {error}") from None
-        except ValueError as error:
-            raise HttpError(400, "bad_value", str(error)) from None
-        except ConnectionError:
-            raise
-        except Exception as error:  # noqa: BLE001 - map to 500, keep serving
-            raise HttpError(
-                500, "internal_error", f"{type(error).__name__}: {error}"
-            ) from None
+        finally:
+            if timer is not None:
+                self._record_http(request, operation, status, timer, request_id)
+
+    def _record_http(
+        self,
+        request: HttpRequest,
+        operation: str,
+        status: int,
+        timer: Tuple[float, float],
+        request_id: int,
+    ) -> None:
+        """Emit the middleware's metrics record for one served request."""
+        started_s, started_pc = timer
+        session_id = self._session_from_path(request.path)
+        tenant = session_id
+        if session_id:
+            try:
+                tenant = self.service.manager.get_session(session_id).tenant
+            except KeyError:
+                pass
+        if status < 400:
+            outcome = OUTCOME_OK
+        elif status == 429:
+            outcome = OUTCOME_REJECTED
+        elif status == 503:
+            outcome = OUTCOME_SHED
+        else:
+            outcome = OUTCOME_ERROR
+        self.service.metrics.observe(
+            tenant=tenant,
+            session_id=session_id,
+            operation=operation,
+            outcome=outcome,
+            started_s=started_s,
+            duration_s=time.perf_counter() - started_pc,
+            num_bytes=len(request.body),
+            request_id=request_id,
+        )
+
+    @staticmethod
+    def _session_from_path(path: str) -> str:
+        """The ``{sid}`` segment of a ``/v1/sessions/...`` path ('' if none)."""
+        parts = [part for part in path.split("/") if part]
+        if len(parts) >= 3 and parts[0] == "v1" and parts[1] in ("sessions",):
+            return parts[2]
+        if len(parts) >= 4 and parts[:3] == ["v1", "metrics", "sessions"]:
+            return parts[3]
+        return ""
 
     def _route(
         self, request: HttpRequest
@@ -287,6 +388,15 @@ class HttpMapServer:
         parts = parts[1:]
         if parts == ["stats"] and method == "GET":
             return self._handle_stats, ()
+        if parts == ["metrics"] and method == "GET":
+            return self._handle_metrics, ()
+        if (
+            len(parts) == 3
+            and parts[0] == "metrics"
+            and parts[1] == "sessions"
+            and method == "GET"
+        ):
+            return self._handle_metrics_session, (parts[2],)
         if parts == ["flush_all"] and method == "POST":
             return self._handle_flush_all, ()
         if parts and parts[0] == "jobs" and method == "GET":
@@ -378,16 +488,16 @@ class HttpMapServer:
         }
 
     async def _handle_stats(self, request: HttpRequest) -> Tuple[int, dict]:
-        stats = self.service.service_stats
-        return 200, {
-            "sessions": [session_stats_payload(block) for block in stats],
-            "totals": {
-                "voxel_updates": stats.total_voxel_updates(),
-                "point_queries": stats.total_queries(),
-                "cache_hit_rate": stats.overall_hit_rate(),
-                "deadline_misses": sum(block.deadline_misses for block in stats),
-            },
-        }
+        return 200, self.service.service_stats.to_dict()
+
+    async def _handle_metrics(self, request: HttpRequest) -> Tuple[int, dict]:
+        return 200, self.service.metrics.snapshot()
+
+    async def _handle_metrics_session(
+        self, request: HttpRequest, sid: str
+    ) -> Tuple[int, dict]:
+        # KeyError from an unrecorded session maps to 404 in _dispatch.
+        return 200, self.service.metrics.session_snapshot(sid)
 
     async def _handle_sessions_list(self, request: HttpRequest) -> Tuple[int, dict]:
         return 200, {"sessions": sorted(self.service.manager.session_ids())}
@@ -460,7 +570,12 @@ class HttpMapServer:
         return 200, bbox_payload(summary)
 
     async def _stream_bbox(
-        self, request: HttpRequest, writer: asyncio.StreamWriter, keep_alive: bool, sid: str
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool,
+        sid: str,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         """NDJSON chunked-transfer variant of the bbox sweep."""
         payload = json_body(request)
@@ -485,7 +600,9 @@ class HttpMapServer:
             first = await stream.__anext__()
         except StopAsyncIteration:
             first = None
-        await start_chunked_response(writer, 200, keep_alive=keep_alive)
+        await start_chunked_response(
+            writer, 200, keep_alive=keep_alive, extra_headers=extra_headers
+        )
         if first is not None:
             await write_chunk(writer, bbox_chunk_payload(first, include_voxels))
             async for chunk in stream:

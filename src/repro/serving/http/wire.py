@@ -201,7 +201,12 @@ async def read_request(
 
 
 def _head_bytes(
-    status: int, content_type: str, length: Optional[int], keep_alive: bool, chunked: bool
+    status: int,
+    content_type: str,
+    length: Optional[int],
+    keep_alive: bool,
+    chunked: bool,
+    extra_headers: Optional[Mapping[str, str]] = None,
 ) -> bytes:
     reason = STATUS_REASONS.get(status, "Unknown")
     lines = [
@@ -209,6 +214,8 @@ def _head_bytes(
         f"Content-Type: {content_type}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
     if chunked:
         lines.append("Transfer-Encoding: chunked")
     else:
@@ -223,6 +230,7 @@ async def write_response(
     *,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
 ) -> None:
     """Write one complete response; dict payloads are JSON-encoded."""
     if payload is None:
@@ -231,7 +239,12 @@ async def write_response(
         body = bytes(payload)
     else:
         body = (json.dumps(payload) + "\n").encode("utf-8")
-    writer.write(_head_bytes(status, content_type, len(body), keep_alive, chunked=False))
+    writer.write(
+        _head_bytes(
+            status, content_type, len(body), keep_alive, chunked=False,
+            extra_headers=extra_headers,
+        )
+    )
     if body:
         writer.write(body)
     await writer.drain()
@@ -243,9 +256,15 @@ async def start_chunked_response(
     *,
     content_type: str = "application/x-ndjson",
     keep_alive: bool = True,
+    extra_headers: Optional[Mapping[str, str]] = None,
 ) -> None:
     """Open a chunked-transfer response (follow with :func:`write_chunk`)."""
-    writer.write(_head_bytes(status, content_type, None, keep_alive, chunked=True))
+    writer.write(
+        _head_bytes(
+            status, content_type, None, keep_alive, chunked=True,
+            extra_headers=extra_headers,
+        )
+    )
     await writer.drain()
 
 
@@ -359,6 +378,9 @@ _CONFIG_FIELDS = (
     "cache_capacity",
     "default_max_range",
     "admission_queue_limit",
+    "tenant",
+    "quota_points_per_s",
+    "quota_burst_s",
 )
 
 
@@ -466,42 +488,13 @@ def raycast_payload(response: RaycastResponse) -> dict:
 
 
 def session_stats_payload(stats: SessionStats) -> dict:
-    """One session's counters as machine-readable JSON (no table rendering)."""
-    return {
-        "session_id": stats.session_id,
-        "backend": stats.backend_name,
-        "num_shards": stats.num_shards,
-        "pipelined": stats.pipelined,
-        "ingest": {
-            "scans": stats.scans_ingested,
-            "points": stats.points_ingested,
-            "rays_cast": stats.rays_cast,
-            "voxel_updates": stats.voxel_updates,
-            "duplicates_removed": stats.duplicates_removed,
-            "batches": stats.batches_dispatched,
-            "deadline_misses": stats.deadline_misses,
-            "modelled_cycles": stats.modelled_ingest_cycles,
-            "wall_seconds": stats.ingest_wall_seconds,
-            "updates_per_second_wall": stats.wall_updates_per_second,
-            "shard_updates": list(stats.shard_updates),
-        },
-        "admission": {
-            "async_submits": stats.async_submits,
-            "waits": stats.admission_waits,
-            "wait_seconds": stats.admission_wait_seconds,
-            "rejects": stats.queue_rejects,
-            "queue_high_water": stats.admission_queue_high_water,
-        },
-        "queries": {
-            "point": stats.point_queries,
-            "batch": stats.batch_queries,
-            "bbox": stats.bbox_queries,
-            "raycast": stats.raycast_queries,
-            "cache_hits": stats.cache.hits,
-            "cache_misses": stats.cache.misses,
-            "cache_hit_rate": stats.cache.hit_rate,
-        },
-    }
+    """One session's counters as machine-readable JSON (no table rendering).
+
+    Delegates to :meth:`~repro.serving.stats.SessionStats.to_dict` so the
+    wire shape, the rendered tables, and the ``--metrics-json`` dump all
+    read one source of truth.
+    """
+    return stats.to_dict()
 
 
 def _list_payloads(items: Sequence, codec) -> List[dict]:

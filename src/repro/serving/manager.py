@@ -10,8 +10,10 @@ aggregates every session's counters into one
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.serving.metrics import MetricsStore
 from repro.serving.session import MapSession, SessionConfig
 from repro.serving.stats import ServiceStats
 from repro.serving.types import BatchReport, IngestReceipt, ScanRequest
@@ -22,9 +24,16 @@ __all__ = ["MapSessionManager"]
 class MapSessionManager:
     """Owns the map sessions of one service instance."""
 
-    def __init__(self, default_config: Optional[SessionConfig] = None) -> None:
+    def __init__(
+        self,
+        default_config: Optional[SessionConfig] = None,
+        metrics: Optional[MetricsStore] = None,
+    ) -> None:
         self.default_config = default_config if default_config is not None else SessionConfig()
         self.service_stats = ServiceStats()
+        #: the service's single metrics sink; sessions, the asyncio front
+        #: end, and the HTTP middleware all record into this one store.
+        self.metrics = metrics if metrics is not None else MetricsStore()
         self._sessions: Dict[str, MapSession] = {}
         self._next_request_id = 0
 
@@ -37,7 +46,11 @@ class MapSessionManager:
         """Create a named session; raises if the name is taken."""
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} already exists")
-        session = MapSession(session_id, config if config is not None else self.default_config)
+        session = MapSession(
+            session_id,
+            config if config is not None else self.default_config,
+            metrics=self.metrics,
+        )
         self._sessions[session_id] = session
         self.service_stats.register(session.stats)
         return session
@@ -158,6 +171,30 @@ class MapSessionManager:
 
     def ingest(self, request: ScanRequest, auto_create: bool = True) -> BatchReport:
         """Submit one request and dispatch its session immediately."""
+        if not self.metrics.enabled:
+            return self._ingest(request, auto_create=auto_create)
+        started_s = self.metrics.clock()
+        started_pc = time.perf_counter()
+        outcome = "ok"
+        try:
+            return self._ingest(request, auto_create=auto_create)
+        except Exception:
+            outcome = "error"
+            raise
+        finally:
+            session = self._sessions.get(request.session_id)
+            self.metrics.observe(
+                tenant=session.tenant if session else request.session_id,
+                session_id=request.session_id,
+                operation="ingest",
+                outcome=outcome,
+                started_s=started_s,
+                duration_s=time.perf_counter() - started_pc,
+                num_bytes=len(request.cloud),
+                request_id=request.request_id,
+            )
+
+    def _ingest(self, request: ScanRequest, auto_create: bool = True) -> BatchReport:
         receipt = self.submit(request, auto_create=auto_create)
         session = self.get_session(request.session_id)
         reports = session.flush_all()

@@ -1,0 +1,225 @@
+"""QoS policies of the admission path: per-tenant quotas + deadline shedding.
+
+Two long-standing ROADMAP items fold in here, both enforced at *admission*
+(inside :meth:`repro.serving.aio.AsyncMapService.submit`) so no backend time
+is ever spent on work that was never going to be served:
+
+* **Per-tenant quotas** -- a token bucket per tenant
+  (:class:`TenantQuota`), budgeted in scan points (the pre-dedup voxel
+  updates a submit will generate) per second.  One greedy session cannot
+  starve a shared backend: once a tenant's bucket runs dry its submits get a
+  typed :class:`TenantQuotaExceeded` reject -- with a ``retry_after_s`` hint
+  -- which the metrics pipeline counts as outcome ``rejected`` and the stats
+  layer as ``quota_rejects``.  Sessions of one tenant share one bucket
+  (``SessionConfig.tenant`` defaults to the session id, so the default is
+  per-session isolation).
+
+* **Deadline-miss shedding** -- :class:`DeadlineShedPolicy` keeps an
+  exponential moving average of per-request ingest cost (fed by the flusher)
+  and compares each deadline-carrying submit's *feasible horizon* --
+  ``now + queue_depth x ema_seconds_per_request`` -- against its deadline.
+  A request that already cannot meet its deadline (including one whose
+  deadline has passed outright) is dropped with a typed
+  :class:`DeadlineShed` instead of burning ray-casting and shard-apply time
+  on an already-dead request; metrics outcome ``shed``, stats counter
+  ``shed_requests``.
+
+Both policies take an injectable monotonic clock, so the QoS tests pin their
+accounting deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+__all__ = [
+    "DeadlineShed",
+    "DeadlineShedPolicy",
+    "TenantQuota",
+    "TenantQuotaExceeded",
+    "TenantQuotaRegistry",
+]
+
+
+class TenantQuotaExceeded(RuntimeError):
+    """A submit found its tenant's update-rate budget exhausted."""
+
+    def __init__(self, tenant: str, rate_per_s: float, retry_after_s: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} is over its ingest budget of "
+            f"{rate_per_s:g} points/s; retry in {retry_after_s:.3f}s"
+        )
+        self.tenant = tenant
+        self.rate_per_s = rate_per_s
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineShed(RuntimeError):
+    """A submit was dropped because its deadline cannot be met.
+
+    ``deadline_s`` and ``feasible_s`` are on the service's monotonic clock:
+    the request would earliest be served at ``feasible_s``, which is already
+    past ``deadline_s`` -- ingesting it would burn backend time on a result
+    nobody can use.
+    """
+
+    def __init__(self, session_id: str, deadline_s: float, feasible_s: float) -> None:
+        super().__init__(
+            f"request for session {session_id!r} shed: deadline at "
+            f"t={deadline_s:.3f}s but earliest feasible service at "
+            f"t={feasible_s:.3f}s (monotonic clock)"
+        )
+        self.session_id = session_id
+        self.deadline_s = deadline_s
+        self.feasible_s = feasible_s
+
+
+class TenantQuota:
+    """Token bucket metering one tenant's admitted scan points per second.
+
+    Args:
+        rate_per_s: sustained budget in points per second (> 0).
+        burst_s: bucket capacity expressed as seconds of budget (the tenant
+            may burst ``rate_per_s * burst_s`` points instantly after idling).
+        clock: monotonic time source.
+
+    ``try_charge(cost)`` is the whole API: it refills by elapsed time, then
+    either debits ``cost`` and returns ``None`` or returns the seconds until
+    enough budget will have accrued.  A single cost larger than the bucket
+    capacity is still admitted once the bucket is *full* (the bucket then
+    goes negative), so an oversized scan degrades to "at most one per
+    ``cost / rate`` seconds" instead of being unservable forever.
+    """
+
+    __slots__ = ("rate_per_s", "capacity", "tokens", "clock", "_refilled_at")
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0.0:
+            raise ValueError("rate_per_s must be positive")
+        if burst_s <= 0.0:
+            raise ValueError("burst_s must be positive")
+        self.rate_per_s = rate_per_s
+        self.capacity = rate_per_s * burst_s
+        self.tokens = self.capacity
+        self.clock = clock
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0.0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate_per_s)
+            self._refilled_at = now
+
+    def try_charge(self, cost: float) -> "float | None":
+        """Debit ``cost`` points; ``None`` on success, retry-after seconds otherwise."""
+        if cost < 0.0:
+            raise ValueError("cost must be non-negative")
+        self._refill()
+        affordable = min(cost, self.capacity)  # oversized costs need a full bucket
+        if self.tokens >= affordable:
+            self.tokens -= cost
+            return None
+        return (affordable - self.tokens) / self.rate_per_s
+
+    @property
+    def available(self) -> float:
+        """Points currently admissible without waiting."""
+        self._refill()
+        return max(0.0, self.tokens)
+
+
+class TenantQuotaRegistry:
+    """One :class:`TenantQuota` per tenant, created lazily on first charge.
+
+    The registry lives on the service front end; sessions sharing a
+    ``SessionConfig.tenant`` share the bucket the *first* such session's
+    config created (rate changes require a new tenant name -- the same
+    adopt-or-conflict stance ``get_or_create_session`` takes on configs).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self._buckets: Dict[str, TenantQuota] = {}
+
+    def charge(
+        self, tenant: str, cost: float, rate_per_s: float, burst_s: float = 1.0
+    ) -> None:
+        """Debit a tenant's bucket; raises :class:`TenantQuotaExceeded` when dry.
+
+        ``rate_per_s <= 0`` means "no quota configured" and always admits.
+        """
+        if rate_per_s <= 0.0:
+            return
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TenantQuota(
+                rate_per_s, burst_s=burst_s, clock=self.clock
+            )
+        retry_after = bucket.try_charge(cost)
+        if retry_after is not None:
+            raise TenantQuotaExceeded(tenant, bucket.rate_per_s, retry_after)
+
+    def bucket(self, tenant: str) -> "TenantQuota | None":
+        """The tenant's live bucket, if one was ever created."""
+        return self._buckets.get(tenant)
+
+
+class DeadlineShedPolicy:
+    """Feasibility check for deadline-carrying submits.
+
+    Maintains an exponential moving average of observed per-request ingest
+    seconds (the flusher feeds :meth:`observe_batch` after every dispatched
+    batch) and predicts the earliest feasible service time of a new submit
+    as ``now + queue_depth * ema``.  Until the first observation the policy
+    only sheds requests whose deadline has *already* passed -- it never
+    guesses about capacity it has not measured.
+
+    Args:
+        alpha: EMA smoothing factor in (0, 1]; higher tracks faster.
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    __slots__ = ("alpha", "clock", "ema_seconds_per_request")
+
+    def __init__(
+        self, alpha: float = 0.2, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.clock = clock
+        self.ema_seconds_per_request = 0.0
+
+    def observe_batch(self, wall_seconds: float, requests: int) -> None:
+        """Feed one dispatched batch's wall time into the cost estimate."""
+        if requests < 1 or wall_seconds < 0.0:
+            return
+        sample = wall_seconds / requests
+        if self.ema_seconds_per_request == 0.0:
+            self.ema_seconds_per_request = sample
+        else:
+            self.ema_seconds_per_request += self.alpha * (
+                sample - self.ema_seconds_per_request
+            )
+
+    def feasible_at(self, queue_depth: int) -> float:
+        """Earliest monotonic time a request admitted now would be served."""
+        return self.clock() + max(0, queue_depth) * self.ema_seconds_per_request
+
+    def check(self, session_id: str, deadline_s: float, queue_depth: int) -> None:
+        """Raise :class:`DeadlineShed` when the deadline cannot be met.
+
+        ``inf`` deadlines never shed.
+        """
+        if deadline_s == float("inf"):
+            return
+        feasible = self.feasible_at(queue_depth)
+        if feasible > deadline_s:
+            raise DeadlineShed(session_id, deadline_s, feasible)

@@ -70,6 +70,17 @@ class SessionConfig:
             submit against a full queue either waits (backpressure) or is
             rejected, never grows the queue without bound; the synchronous
             path ignores this knob.
+        tenant: accounting principal this session bills to.  Sessions
+            sharing a tenant share one quota bucket and roll up together in
+            the metrics pipeline; empty (the default) means "the session is
+            its own tenant" -- per-session isolation.
+        quota_points_per_s: sustained per-tenant ingest budget in scan
+            points per second, enforced at async admission
+            (:class:`repro.serving.metrics.qos.TenantQuotaRegistry`).
+            ``0`` (the default) disables the quota.
+        quota_burst_s: quota bucket capacity as seconds of budget -- after
+            idling, a tenant may burst ``quota_points_per_s * quota_burst_s``
+            points at once.
     """
 
     num_shards: int = 2
@@ -83,10 +94,17 @@ class SessionConfig:
     accelerator: OMUConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     default_max_range: float = -1.0
     admission_queue_limit: int = 64
+    tenant: str = ""
+    quota_points_per_s: float = 0.0
+    quota_burst_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.admission_queue_limit < 1:
             raise ValueError("admission_queue_limit must be at least 1")
+        if self.quota_points_per_s < 0.0:
+            raise ValueError("quota_points_per_s must be non-negative (0 disables)")
+        if self.quota_burst_s <= 0.0:
+            raise ValueError("quota_burst_s must be positive")
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if self.batch_size < 1:
@@ -110,15 +128,29 @@ class SessionConfig:
         """Copy with double-buffered (pipelined) ingestion toggled."""
         return replace(self, pipelined=pipelined)
 
+    def resolved_tenant(self, session_id: str) -> str:
+        """The accounting principal: ``tenant``, or the session id when unset."""
+        return self.tenant or session_id
+
 
 class MapSession:
     """One named occupancy map served by a sharded worker pool."""
 
-    def __init__(self, session_id: str, config: Optional[SessionConfig] = None) -> None:
+    def __init__(
+        self,
+        session_id: str,
+        config: Optional[SessionConfig] = None,
+        metrics=None,
+    ) -> None:
         if not session_id:
             raise ValueError("session_id must be a non-empty string")
         self.session_id = session_id
         self.config = config if config is not None else SessionConfig()
+        #: accounting principal (``config.tenant`` or the session id).
+        self.tenant = self.config.resolved_tenant(session_id)
+        #: optional :class:`~repro.serving.metrics.MetricsStore` shared with
+        #: the owning manager; ``None`` runs without instrumentation.
+        self.metrics = metrics
         self.stats = SessionStats(
             session_id=session_id,
             backend_name=self.config.backend,
@@ -144,6 +176,8 @@ class MapSession:
             self.stats,
             batch_size=self.config.batch_size,
             pipelined=self.config.pipelined,
+            metrics=metrics,
+            tenant=self.tenant,
         )
         self.cache = GenerationLRUCache(self.config.cache_capacity)
         self.query_engine = QueryEngine(self.router, self.backend, self.cache, self.stats)

@@ -64,6 +64,12 @@ class SessionStats:
     admission_wait_seconds: float = 0.0
     #: submits rejected outright (``wait=False`` against a full queue).
     queue_rejects: int = 0
+    #: submits refused because the session's tenant was over its ingest
+    #: budget (:class:`repro.serving.metrics.qos.TenantQuotaExceeded`).
+    quota_rejects: int = 0
+    #: submits dropped by deadline-miss shedding before any backend work
+    #: (:class:`repro.serving.metrics.qos.DeadlineShed`).
+    shed_requests: int = 0
     #: deepest the bounded asyncio admission queue ever got.
     admission_queue_high_water: int = 0
     # --- queries ---
@@ -161,6 +167,51 @@ class SessionStats:
             return 0.0
         return self.admission_wait_seconds / self.admission_waits
 
+    def to_dict(self) -> dict:
+        """This session's counters as machine-readable JSON.
+
+        The single source of truth shared by the rendered ASCII tables, the
+        HTTP stats routes (``/v1/stats``, ``/v1/sessions/{sid}``) and the
+        ``--metrics-json`` dump -- same counters, three surfaces.
+        """
+        return {
+            "session_id": self.session_id,
+            "backend": self.backend_name,
+            "num_shards": self.num_shards,
+            "pipelined": self.pipelined,
+            "ingest": {
+                "scans": self.scans_ingested,
+                "points": self.points_ingested,
+                "rays_cast": self.rays_cast,
+                "voxel_updates": self.voxel_updates,
+                "duplicates_removed": self.duplicates_removed,
+                "batches": self.batches_dispatched,
+                "deadline_misses": self.deadline_misses,
+                "modelled_cycles": self.modelled_ingest_cycles,
+                "wall_seconds": self.ingest_wall_seconds,
+                "updates_per_second_wall": self.wall_updates_per_second,
+                "shard_updates": list(self.shard_updates),
+            },
+            "admission": {
+                "async_submits": self.async_submits,
+                "waits": self.admission_waits,
+                "wait_seconds": self.admission_wait_seconds,
+                "rejects": self.queue_rejects,
+                "quota_rejects": self.quota_rejects,
+                "shed_requests": self.shed_requests,
+                "queue_high_water": self.admission_queue_high_water,
+            },
+            "queries": {
+                "point": self.point_queries,
+                "batch": self.batch_queries,
+                "bbox": self.bbox_queries,
+                "raycast": self.raycast_queries,
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_hit_rate": self.cache.hit_rate,
+            },
+        }
+
 
 class ServiceStats:
     """Aggregated view over every session's counter block."""
@@ -193,6 +244,8 @@ class ServiceStats:
         "Wait (s)",
         "Mean wait (ms)",
         "Rejects",
+        "Quota rejects",
+        "Shed",
         "Queue high-water",
     )
     BACKEND_HEADERS: Tuple[str, ...] = (
@@ -249,6 +302,30 @@ class ServiceStats:
             return 0.0
         return hits / lookups
 
+    def to_dict(self) -> dict:
+        """Every session's counters plus service totals, JSON-ready.
+
+        The same numbers :meth:`render` draws as ASCII tables -- the stats
+        half of the ``--metrics-json`` dump and the ``/v1/stats`` body, so
+        tables, HTTP, and dashboards read one source of truth.
+        """
+        sessions = [
+            stats.to_dict() for stats in sorted(self, key=lambda s: s.session_id)
+        ]
+        return {
+            "sessions": sessions,
+            "totals": {
+                "num_sessions": len(self),
+                "voxel_updates": self.total_voxel_updates(),
+                "point_queries": self.total_queries(),
+                "cache_hit_rate": self.overall_hit_rate(),
+                "deadline_misses": sum(stats.deadline_misses for stats in self),
+                "queue_rejects": sum(stats.queue_rejects for stats in self),
+                "quota_rejects": sum(stats.quota_rejects for stats in self),
+                "shed_requests": sum(stats.shed_requests for stats in self),
+            },
+        }
+
     # ------------------------------------------------------------------
     # Rendering (plugs into the repro.analysis table style)
     # ------------------------------------------------------------------
@@ -295,10 +372,15 @@ class ServiceStats:
                 stats.admission_wait_seconds,
                 1e3 * stats.mean_admission_wait_seconds,
                 stats.queue_rejects,
+                stats.quota_rejects,
+                stats.shed_requests,
                 stats.admission_queue_high_water,
             )
             for stats in sorted(self, key=lambda s: s.session_id)
-            if stats.async_submits or stats.queue_rejects
+            if stats.async_submits
+            or stats.queue_rejects
+            or stats.quota_rejects
+            or stats.shed_requests
         ]
 
     def backend_rows(self) -> List[Tuple[object, ...]]:

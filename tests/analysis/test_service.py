@@ -182,7 +182,12 @@ def test_service_main_writes_json(tmp_path, capsys):
         "backend_scaling",
         "frontend_scaling",
         "http_frontend",
+        "metrics_overhead",
     ]
+    overhead = payload["experiments"][3]
+    # One row per instrumentation mode; both ingest the identical workload.
+    assert {r["Metrics"] for r in overhead["records"]} == {"on", "off"}
+    assert len({r["Updates"] for r in overhead["records"]}) == 1
     http = payload["experiments"][2]
     # {in-process, http} per client count, identical ingestion per pair.
     assert {r["Transport"] for r in http["records"]} == {"in-process", "http"}
@@ -203,6 +208,7 @@ def test_service_main_can_skip_the_http_sweep(tmp_path, capsys):
             "--clients", "1",
             "--skip-scheduler-sweep",
             "--skip-http-sweep",
+            "--skip-metrics-sweep",
         ]
     )
     assert exit_code == 0

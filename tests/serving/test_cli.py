@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.serving.cli import build_parser, main
@@ -112,3 +114,29 @@ def test_main_runs_async_front_end(capsys):
 def test_main_rejects_zero_queue_limit(capsys):
     assert main(["--async", "--queue-limit", "0", "--scans", "1", "--sessions", "1"]) == 2
     assert "--queue-limit" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("extra", [[], ["--async"]])
+def test_metrics_json_snapshot_written_on_clean_exit(extra, tmp_path, capsys):
+    path = tmp_path / "out" / "metrics.json"
+    exit_code = main(
+        [
+            "--sessions", "1",
+            "--scans", "2",
+            "--shards", "2",
+            "--batch-size", "2",
+            "--queries", "1",
+            "--metrics-json", str(path),
+            *extra,
+        ]
+    )
+    assert exit_code == 0
+    assert f"Metrics snapshot written to {path}" in capsys.readouterr().out
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["metrics"]["totals"]["requests"] > 0
+    assert payload["service_stats"]["totals"]["num_sessions"] >= 1
+    operations = payload["metrics"]["sessions"]["session-0"]["operations"]
+    assert operations["batch_apply"]["count"] >= 1
+    for rollup in operations.values():
+        latency = rollup["latency"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]

@@ -21,7 +21,7 @@ from repro.core.verification import compare_trees
 from repro.octomap import PointCloud
 from repro.octomap.serialization import deserialize_tree
 from repro.serving import AsyncMapService, ScanRequest, SessionConfig
-from repro.serving.http import HttpMapServer, MapServiceClient, ServerError
+from repro.serving.http import HttpMapServer, MapServiceClient, ServerError, http_request
 from repro.serving.http.uploads import UploadManager
 from test_aio import _reference_tree
 
@@ -198,21 +198,40 @@ async def test_deadline_misses_surface_in_http_stats():
     ) as (server, client):
         await client.create_session("map")
         payload = _scan_payloads(1)[0]
-        # An already-expired relative deadline must be counted at dispatch.
-        await client.submit_scan(
-            "map",
-            payload["points"],
-            payload["origin"],
-            max_range=5.0,
-            deadline_in_s=-1.0,
-        )
-        await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
-        reports = await client.flush("map")
-        assert sum(report["deadline_misses"] for report in reports) == 1
+        # A deadline that is live at admission (so the shed gate passes) but
+        # expired by dispatch must be counted as a miss.  Hold the session
+        # lock so the flusher cannot ingest until the deadline has lapsed.
+        entry = server.service._entries["map"]
+        async with entry.lock:
+            await client.submit_scan(
+                "map",
+                payload["points"],
+                payload["origin"],
+                max_range=5.0,
+                deadline_in_s=0.05,
+            )
+            await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+            await asyncio.sleep(0.1)
+        await client.flush("map")
         stats = await client.session_stats("map")
         assert stats["ingest"]["deadline_misses"] == 1
         totals = (await client.stats())["totals"]
         assert totals["deadline_misses"] == 1
+        # An *already*-expired deadline never reaches dispatch any more: the
+        # admission shed gate drops it with a typed 503 and counts it.
+        with pytest.raises(ServerError) as excinfo:
+            await client.submit_scan(
+                "map",
+                payload["points"],
+                payload["origin"],
+                max_range=5.0,
+                deadline_in_s=-1.0,
+            )
+        assert excinfo.value.status == 503
+        assert excinfo.value.code == "deadline_shed"
+        totals = (await client.stats())["totals"]
+        assert totals["shed_requests"] == 1
+        assert totals["deadline_misses"] == 1  # the shed one never dispatched
 
 
 # ---------------------------------------------------------------------------
@@ -421,6 +440,82 @@ async def test_concurrent_http_clients_match_sequential_insertion(backend):
         tolerance = session.config.accelerator.fixed_point.scale / 2.0
         diff = compare_trees(reference, session.export_octree(), tolerance)
         assert diff.equivalent, diff.summary()
+
+
+# ---------------------------------------------------------------------------
+# Metrics pipeline + request-id middleware
+# ---------------------------------------------------------------------------
+@async_test
+async def test_request_id_header_is_echoed_on_success_and_error():
+    async with serve() as (server, client):
+        ok = await http_request(*server.address, "GET", "/healthz")
+        assert ok.status == 200
+        first_id = int(ok.headers["x-request-id"])
+        assert first_id >= 1
+        # Errors carry the header too -- the middleware wraps the whole
+        # dispatch, not just the happy path.
+        missing = await http_request(*server.address, "GET", "/v1/sessions/nope")
+        assert missing.status == 404
+        assert int(missing.headers["x-request-id"]) == first_id + 1
+
+
+@async_test
+async def test_metrics_endpoint_reports_windowed_rollups():
+    async with serve() as (server, client):
+        await client.create_session("map")
+        for payload in _scan_payloads(3):
+            await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+        await client.flush("map")
+        await client.query("map", 1.0, 0.0, 0.5)
+
+        snapshot = await client._call("GET", "/v1/metrics")
+        assert snapshot["totals"]["requests"] > 0
+        assert snapshot["totals"]["by_outcome"]["ok"] > 0
+        operations = snapshot["sessions"]["map"]["operations"]
+        # Both layers report: the HTTP middleware and the async service.
+        assert operations["http:scan_submit"]["count"] == 3
+        assert operations["submit"]["count"] == 3
+        assert operations["http:flush"]["count"] == 1
+        assert operations["batch_apply"]["count"] >= 1
+        for rollup in operations.values():
+            latency = rollup["latency"]
+            assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+            assert latency["count"] == rollup["count"]
+        assert snapshot["sessions"]["map"]["windows"], "no windowed rollups"
+
+        # The per-session route serves the same payload; unknown ids are 404.
+        session_view = await client._call("GET", "/v1/metrics/sessions/map")
+        assert session_view["operations"]["submit"]["count"] == 3
+        with pytest.raises(ServerError) as excinfo:
+            await client._call("GET", "/v1/metrics/sessions/never-seen")
+        assert excinfo.value.status == 404
+
+        # A /v1/metrics read is itself recorded (as a service-level request,
+        # no session in the path) -- visible on the *next* snapshot.
+        again = await client._call("GET", "/v1/metrics")
+        assert again["service"]["http:metrics"]["count"] >= 1
+
+
+@async_test
+async def test_quota_reject_is_a_429_and_counted_in_metrics_and_stats():
+    config = {"tenant": "acme", "quota_points_per_s": 1.0, "quota_burst_s": 1.0}
+    async with serve() as (server, client):
+        await client.create_session("map", config)
+        payload = _scan_payloads(1)[0]
+        await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+        with pytest.raises(ServerError) as excinfo:
+            await client.submit_scan("map", payload["points"], payload["origin"], max_range=5.0)
+        assert excinfo.value.status == 429
+        assert excinfo.value.code == "quota_exceeded"
+        assert excinfo.value.detail["retry_after_s"] > 0.0
+
+        stats = await client.stats()
+        assert stats["totals"]["quota_rejects"] == 1
+        snapshot = await client._call("GET", "/v1/metrics")
+        operations = snapshot["sessions"]["map"]["operations"]
+        assert operations["submit"]["outcomes"]["rejected"] == 1
+        assert operations["http:scan_submit"]["outcomes"]["rejected"] == 1
+        assert snapshot["totals"]["by_outcome"]["rejected"] == 2
 
 
 # ---------------------------------------------------------------------------
