@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_SERVICE_CLIENTS",
     "backend_scaling_experiment",
     "frontend_scaling_experiment",
+    "frontend_vectorized_experiment",
     "http_frontend_experiment",
     "main",
     "metrics_overhead_experiment",
@@ -90,6 +91,7 @@ def run_service_workload(
     backend: str = "inline",
     pipelined: bool = False,
     metrics=None,
+    scalar_frontend: bool = False,
 ):
     """Drive one configuration and return the manager (stats inside).
 
@@ -110,6 +112,7 @@ def run_service_workload(
         batch_size=batch_size,
         backend=backend,
         pipelined=pipelined,
+        scalar_frontend=scalar_frontend,
     ).with_resolution(resolution_m)
     manager = MapSessionManager(default_config=config, metrics=metrics)
     try:
@@ -777,6 +780,105 @@ def metrics_overhead_experiment(
     return result
 
 
+def frontend_vectorized_experiment(
+    clients: Sequence[ClientSpec] = DEFAULT_BENCH_CLIENTS,
+    num_shards: int = 2,
+    batch_size: int = 4,
+    seed: int = 0,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Price the ray-casting front end: scalar reference vs batched numpy.
+
+    Same workload, same inline backend; the only difference between the row
+    pair is ``SessionConfig.scalar_frontend`` -- the per-ray Python DDA vs
+    the array traversal of :mod:`repro.octomap.raycast_vec`.  Both produce
+    identical update streams (pinned by the equivalence property suite), so
+    the Updates columns match and the front-end wall gap is purely the
+    traversal kernel.  Each mode runs ``repeats`` times keeping the best
+    front-end wall clock; the "Speedup vs scalar" cell of the vectorized row
+    is the *front-end wall* ratio (scalar frontend seconds / vectorized
+    frontend seconds) -- the figure CI gates on (``--frontend-gate``, >= 2x
+    required, ~10x expected), so a silent fallback to the scalar path cannot
+    land green.  End-to-end ingest wall is reported alongside for context:
+    on the inline backend the modelled accelerator apply dominates it, so
+    the end-to-end ratio understates the front-end win by design.
+    """
+    headers = (
+        "Front end",
+        "Scans",
+        "Updates",
+        "Frontend wall (s)",
+        "Ingest wall (s)",
+        "Frontend share (%)",
+        "Updates/s (wall)",
+        "Speedup vs scalar",
+    )
+    measurements: dict = {}
+    for scalar in (True, False):
+        best = None
+        for _ in range(max(1, repeats)):
+            manager = run_service_workload(
+                clients,
+                num_shards=num_shards,
+                batch_size=batch_size,
+                seed=seed,
+                query_rounds=0,
+                scalar_frontend=scalar,
+            )
+            try:
+                stats = list(manager.service_stats)
+                sample = {
+                    "scans": sum(block.scans_ingested for block in stats),
+                    "updates": manager.service_stats.total_voxel_updates(),
+                    "wall": sum(block.ingest_wall_seconds for block in stats),
+                    "frontend": sum(block.frontend_wall_seconds for block in stats),
+                }
+            finally:
+                manager.shutdown()
+            if best is None or sample["frontend"] < best["frontend"]:
+                best = sample
+        measurements[scalar] = best
+    baseline = measurements[True]["frontend"]
+    rows: List[Tuple[object, ...]] = []
+    for scalar in (True, False):
+        m = measurements[scalar]
+        speedup: object = 1.0 if scalar else "n/a"
+        if not scalar and m["frontend"] > 0:
+            speedup = baseline / m["frontend"]
+        rows.append(
+            (
+                "scalar" if scalar else "vectorized",
+                m["scans"],
+                m["updates"],
+                m["frontend"],
+                m["wall"],
+                100.0 * m["frontend"] / m["wall"] if m["wall"] > 0 else 0.0,
+                m["updates"] / m["wall"] if m["wall"] > 0 else 0.0,
+                speedup,
+            )
+        )
+    result = ExperimentResult(
+        experiment_id="frontend_vectorized",
+        title="Serving layer: ingestion front end, scalar reference vs vectorized",
+        headers=headers,
+        rows=rows,
+    )
+    result.rendered = render_table(result.title, headers, rows)
+    result.notes = (
+        "Identical workload (inline backend, best of "
+        f"{max(1, repeats)} runs per mode) and identical update streams; the "
+        "scalar row steps every ray one voxel at a time in Python, the "
+        "vectorized row traverses all rays of a flush through one batched "
+        "numpy DDA and de-duplicates with np.unique.  'Speedup vs scalar' is "
+        "the front-end wall ratio (the traversal kernel itself); end-to-end "
+        "ingest wall is shown for context but is dominated by the modelled "
+        "accelerator apply on the inline backend.  CI fails the perf-gate "
+        "job when the front-end speedup drops below the --frontend-gate "
+        "floor (2x), guarding against a silent fallback to the scalar path."
+    )
+    return result
+
+
 def write_benchmark_json(
     result: ExperimentResult, path, extra_results: Sequence[ExperimentResult] = ()
 ) -> Path:
@@ -889,6 +991,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=[1, 2, 4],
         help="concurrent-client counts of the front-end sweep (default: 1 2 4)",
     )
+    parser.add_argument(
+        "--frontend-gate",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help=(
+            "fail (exit 1) unless the vectorized front end's wall clock beats "
+            "the scalar front end's by at least FACTOR x in the "
+            "frontend_vectorized row (0 disables; CI gates at 2.0)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from dataclasses import replace
@@ -928,12 +1041,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(metrics_result.rendered)
         print(metrics_result.notes)
+    # Always measured (it is the row CI's perf gate reads): scalar reference
+    # front end vs the vectorized default, same workload, same streams.
+    vectorized_result = frontend_vectorized_experiment(clients)
+    extra_results.append(vectorized_result)
+    print()
+    print(vectorized_result.rendered)
+    print(vectorized_result.notes)
     if not args.skip_scheduler_sweep:
         scheduler_result = service_scaling_experiment()
         print()
         print(scheduler_result.rendered)
     out = write_benchmark_json(backend_result, args.out, extra_results=extra_results)
     print(f"\n[machine-readable results saved to {out}]")
+    if args.frontend_gate > 0.0:
+        speedup = next(
+            record["Speedup vs scalar"]
+            for record in vectorized_result.records()
+            if record["Front end"] == "vectorized"
+        )
+        if not isinstance(speedup, (int, float)) or speedup < args.frontend_gate:
+            print(
+                f"FAIL: vectorized front end speedup {speedup} is below the "
+                f"{args.frontend_gate}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"Frontend gate OK: vectorized {speedup:.1f}x >= {args.frontend_gate}x")
     return 0
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.octomap.keys import KeyConverter, OcTreeKey
 
 __all__ = ["AddressGenerator"]
@@ -91,6 +93,34 @@ class AddressGenerator:
         subtree = 0
         for child_index in self.shard_prefix(key, prefix_levels):
             subtree = subtree * 8 + child_index
+        return subtree % num_shards
+
+    def shard_indices(self, keys: np.ndarray, num_shards: int, prefix_levels: int = 1) -> np.ndarray:
+        """Array counterpart of :meth:`shard_index` for ``(N, 3)`` key components.
+
+        Folds the first ``prefix_levels`` child indices of every key into a
+        subtree number and reduces modulo the shard count -- the same
+        arithmetic as the scalar path, so ``shard_indices(keys)[i] ==
+        shard_index(OcTreeKey(*keys[i]))`` for every row.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if not 1 <= prefix_levels <= self._tree_depth:
+            raise ValueError(
+                f"prefix_levels must be in [1, {self._tree_depth}], got {prefix_levels}"
+            )
+        keys = np.asarray(keys, dtype=np.int64)
+        subtree = np.zeros(keys.shape[0], dtype=np.int64)
+        for level in range(prefix_levels):
+            bit = self._tree_depth - 1 - level
+            child = (
+                ((keys[:, 0] >> bit) & 1)
+                | (((keys[:, 1] >> bit) & 1) << 1)
+                | (((keys[:, 2] >> bit) & 1) << 2)
+            )
+            # 8**16 == 2**48 fits comfortably in int64, so no overflow even
+            # at the full 16-level prefix.
+            subtree = subtree * 8 + child
         return subtree % num_shards
 
     def child_path(self, key: OcTreeKey) -> Tuple[int, ...]:

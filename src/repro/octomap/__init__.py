@@ -16,6 +16,9 @@ It provides:
   (update, search, prune/expand, iteration, memory accounting).
 * :mod:`repro.octomap.raycast` -- 3D DDA ray traversal (``compute_ray_keys``
   and ``cast_ray``).
+* :mod:`repro.octomap.raycast_vec` -- the batched numpy counterpart: all rays
+  of a scan traversed as arrays, with packed-``uint64`` key de-duplication
+  (``compute_scan_update_arrays``); key-for-key equivalent to the scalar DDA.
 * :mod:`repro.octomap.pointcloud` -- point clouds, 6-DoF poses, scan nodes
   and scan graphs.
 * :mod:`repro.octomap.scan_insertion` -- batch insertion of sensor scans with
@@ -35,6 +38,14 @@ from repro.octomap.node import OcTreeNode
 from repro.octomap.octree import OccupancyOcTree
 from repro.octomap.pointcloud import PointCloud, Pose6D, ScanGraph, ScanNode
 from repro.octomap.raycast import cast_ray, compute_ray_keys
+from repro.octomap.raycast_vec import (
+    ScanUpdateArrays,
+    compute_batch_update_arrays,
+    compute_scan_update_arrays,
+    compute_update_keys_vectorized,
+    pack_key_array,
+    unpack_key_array,
+)
 from repro.octomap.scan_insertion import compute_update_keys, insert_point_cloud
 from repro.octomap.serialization import read_tree, write_tree
 
@@ -50,10 +61,16 @@ __all__ = [
     "Pose6D",
     "ScanGraph",
     "ScanNode",
+    "ScanUpdateArrays",
     "cast_ray",
+    "compute_batch_update_arrays",
     "compute_ray_keys",
+    "compute_scan_update_arrays",
     "compute_update_keys",
+    "compute_update_keys_vectorized",
     "graft_leaf",
+    "pack_key_array",
+    "unpack_key_array",
     "insert_point_cloud",
     "log_odds",
     "merge_tree",

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Tuple
 
+import numpy as np
+
 __all__ = ["OcTreeKey", "KeyConverter"]
 
 
@@ -186,6 +188,33 @@ class KeyConverter:
             self.coord_to_key_component(y),
             self.coord_to_key_component(z),
         )
+
+    def coords_to_key_array(self, coords: np.ndarray) -> np.ndarray:
+        """Discretise an ``(N, 3)`` coordinate array into ``(N, 3)`` key components.
+
+        The array counterpart of :meth:`coord_to_key`: ``np.floor`` matches
+        ``math.floor`` for every finite float64, so each row equals the scalar
+        conversion of the same point exactly.
+
+        Raises:
+            ValueError: if any coordinate falls outside the addressable
+                volume (same condition as :meth:`coord_to_key_component`).
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        components = np.floor(coords / self._resolution).astype(np.int64) + self._tree_max_val
+        limit = 2 * self._tree_max_val
+        if components.size and ((components < 0) | (components >= limit)).any():
+            bad = coords[((components < 0) | (components >= limit)).any(axis=1)][0]
+            raise ValueError(
+                f"coordinate {tuple(bad)!r} outside the mappable volume "
+                f"(+/- {self.max_coordinate} m at resolution {self._resolution} m)"
+            )
+        return components
+
+    def key_array_to_coords(self, keys: np.ndarray) -> np.ndarray:
+        """Convert ``(N, 3)`` leaf key components back to voxel-centre coords."""
+        keys = np.asarray(keys)
+        return (keys.astype(np.float64) - self._tree_max_val + 0.5) * self._resolution
 
     def key_to_coord(self, key: OcTreeKey, depth: int | None = None) -> Tuple[float, float, float]:
         """Return the metric centre of the voxel addressed by ``key``."""

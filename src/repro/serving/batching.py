@@ -13,6 +13,15 @@ The pipeline sits between request admission and the shard workers:
    session's :class:`~repro.serving.backends.ShardBackend` (serially for the
    inline reference backend, concurrently for the pool backends).
 
+The front end is the batched numpy pipeline of
+:mod:`repro.octomap.raycast_vec` by default: all rays of *every scan in the
+flush* step through one batched DDA as arrays (a scan-id lane keeps
+de-duplication per scan) and de-duplicate with one ``np.unique`` per scan.
+``scalar_frontend=True`` (``SessionConfig.scalar_frontend`` /
+``repro-serve --scalar-frontend``) routes flushes through the per-ray scalar
+reference instead; both paths emit byte-identical per-shard update streams,
+which the front-end equivalence property suite pins.
+
 De-duplication is deliberately *per scan*, not per batch: the clamped
 log-odds update saturates, so collapsing two same-voxel updates from
 different scans into one would change the map whenever a value sits at a
@@ -44,8 +53,11 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.scheduler import VoxelUpdateRequest
 from repro.octomap.counters import OperationCounters
+from repro.octomap.raycast_vec import compute_batch_update_arrays, unpack_key_array
 from repro.octomap.scan_insertion import compute_update_keys_for_converter
 from repro.serving.backends import ShardBackend
 from repro.serving.schedulers import IngestScheduler
@@ -106,6 +118,7 @@ class IngestionPipeline:
         pipelined: bool = False,
         metrics=None,
         tenant: Optional[str] = None,
+        scalar_frontend: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -125,6 +138,15 @@ class IngestionPipeline:
         #: finalized batch emits one ``batch_apply`` record into it.
         self.metrics = metrics
         self.tenant = tenant if tenant is not None else session_id
+        #: True routes every flush through the scalar reference front end
+        #: (:func:`compute_update_keys_for_converter`); False (the default)
+        #: uses the batched numpy front end of :mod:`repro.octomap.raycast_vec`.
+        self.scalar_frontend = scalar_frontend
+        # The key converter is derived from the router once per session, not
+        # once per flush; the stats counter makes a regression back to
+        # per-flush derivation visible.
+        self.converter = router.converter
+        stats.frontend_converter_builds += 1
         self.batches_flushed = 0
         self.reports: List[BatchReport] = []
         self._inflight: Optional[_InFlightBatch] = None
@@ -219,10 +241,10 @@ class IngestionPipeline:
         # inflate the overlap ratio the stats exist to report.
         overlapped = self.backend.in_flight is not None
         started = time.perf_counter()
-        stream: List[VoxelUpdateRequest] = []
+        requests: List[ScanRequest] = []
         request_ids: List[int] = []
         scans = points = rays = visits = 0
-        converter = self.router.converter
+        converter = self.converter
         dda_counters = OperationCounters()
         deadline_misses = 0
         while self.scheduler and len(request_ids) < budget:
@@ -234,43 +256,87 @@ class IngestionPipeline:
             if request.deadline_s != math.inf and request.deadline_s < time.monotonic():
                 deadline_misses += 1
             request_ids.append(request.request_id)
+            requests.append(request)
             scans += 1
             points += len(request.cloud)
             rays += len(request.cloud)
-            free_keys, occupied_keys = compute_update_keys_for_converter(
+
+        if self.scalar_frontend:
+            stream: List[VoxelUpdateRequest] = []
+            for request in requests:
+                free_keys, occupied_keys = compute_update_keys_for_converter(
+                    converter,
+                    request.cloud,
+                    request.origin,
+                    max_range=request.max_range,
+                    counters=dda_counters,
+                )
+                # Pre-dedup visits: every DDA step is one free-voxel visit,
+                # and each surviving endpoint voxel is one occupied visit.
+                visits += len(occupied_keys)
+                # The per-scan segment mirrors the accelerator's own issue
+                # order: free voxels first, occupied voxels last, both in
+                # sorted key order (occupied keys were already removed from
+                # the free set).
+                stream.extend(
+                    VoxelUpdateRequest(key, occupied=False) for key in sorted(free_keys)
+                )
+                stream.extend(
+                    VoxelUpdateRequest(key, occupied=True) for key in sorted(occupied_keys)
+                )
+        else:
+            # All popped scans ride one batched DDA: the loop overhead of the
+            # traversal is paid once per flush, not once per scan.
+            scan_arrays = compute_batch_update_arrays(
                 converter,
-                request.cloud,
-                request.origin,
-                max_range=request.max_range,
+                [(request.cloud.points, request.origin, request.max_range) for request in requests],
                 counters=dda_counters,
             )
-            # Pre-dedup visits: every DDA step is one free-voxel visit, and
-            # each surviving endpoint voxel is one occupied visit.
-            visits += len(occupied_keys)
-            # The per-scan segment mirrors the accelerator's own issue order:
-            # free voxels first, occupied voxels last, both in sorted key
-            # order (occupied keys were already removed from the free set).
-            stream.extend(
-                VoxelUpdateRequest(key, occupied=False) for key in sorted(free_keys)
-            )
-            stream.extend(
-                VoxelUpdateRequest(key, occupied=True) for key in sorted(occupied_keys)
-            )
+            segments: List[np.ndarray] = []
+            segment_flags: List[np.ndarray] = []
+            for scan in scan_arrays:
+                visits += int(scan.occupied_packed.size)
+                # Packed codes sort exactly like OcTreeKeys, and np.unique
+                # already sorted both halves, so this segment is the same
+                # free-then-occupied sorted order the scalar branch emits.
+                segments.append(np.concatenate((scan.free_packed, scan.occupied_packed)))
+                flags = np.zeros(segments[-1].size, dtype=bool)
+                flags[scan.free_packed.size :] = True
+                segment_flags.append(flags)
         visits += dda_counters.ray_steps
 
-        per_shard = self.router.partition(stream)
-        batches = [
-            ShardUpdateBatch.from_updates(shard_id, shard_stream)
-            for shard_id, shard_stream in enumerate(per_shard)
-        ]
+        if self.scalar_frontend:
+            per_shard = self.router.partition(stream)
+            batches = [
+                ShardUpdateBatch.from_updates(shard_id, shard_stream)
+                for shard_id, shard_stream in enumerate(per_shard)
+            ]
+            voxel_updates = len(stream)
+            shard_updates = tuple(len(shard_stream) for shard_stream in per_shard)
+        else:
+            if segments:
+                keys = unpack_key_array(np.concatenate(segments))
+                flags = np.concatenate(segment_flags)
+            else:
+                keys = np.empty((0, 3), dtype=np.int64)
+                flags = np.empty(0, dtype=bool)
+            per_shard_arrays = self.router.partition_key_arrays(keys, flags)
+            batches = [
+                ShardUpdateBatch.from_key_arrays(shard_id, shard_keys, shard_flags)
+                for shard_id, (shard_keys, shard_flags) in enumerate(per_shard_arrays)
+            ]
+            voxel_updates = int(keys.shape[0])
+            shard_updates = tuple(
+                int(shard_keys.shape[0]) for shard_keys, _ in per_shard_arrays
+            )
         return _PreparedBatch(
             request_ids=request_ids,
             scans=scans,
             points=points,
             rays=rays,
             visits=visits,
-            voxel_updates=len(stream),
-            shard_updates=tuple(len(shard_stream) for shard_stream in per_shard),
+            voxel_updates=voxel_updates,
+            shard_updates=shard_updates,
             batches=batches,
             frontend_seconds=time.perf_counter() - started,
             overlapped=overlapped,

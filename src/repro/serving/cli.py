@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
             "on multi-core hosts with the process backend)"
         ),
     )
+    parser.add_argument(
+        "--scalar-frontend",
+        action="store_true",
+        help=(
+            "route ingestion through the per-ray scalar reference front end "
+            "instead of the batched numpy pipeline (same maps, ~10x slower; "
+            "the A/B escape hatch for verification and benchmarking)"
+        ),
+    )
     parser.add_argument("--shards", type=int, default=2, help="shard workers per session (default 2)")
     parser.add_argument(
         "--prefix-levels",
@@ -210,6 +219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             pipelined=args.pipeline,
             scheduler_policy=args.scheduler,
             batch_size=args.batch_size,
+            scalar_frontend=args.scalar_frontend,
         ).with_resolution(args.resolution)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -81,6 +81,12 @@ class SessionConfig:
         quota_burst_s: quota bucket capacity as seconds of budget -- after
             idling, a tenant may burst ``quota_points_per_s * quota_burst_s``
             points at once.
+        scalar_frontend: route ingestion through the per-ray scalar front
+            end (the verification reference) instead of the batched numpy
+            pipeline of :mod:`repro.octomap.raycast_vec`.  Both produce
+            byte-identical per-shard update streams; the scalar path is an
+            order of magnitude slower and exists for A/B verification and
+            benchmarking (``repro-serve --scalar-frontend``).
     """
 
     num_shards: int = 2
@@ -97,6 +103,7 @@ class SessionConfig:
     tenant: str = ""
     quota_points_per_s: float = 0.0
     quota_burst_s: float = 1.0
+    scalar_frontend: bool = False
 
     def __post_init__(self) -> None:
         if self.admission_queue_limit < 1:
@@ -127,6 +134,10 @@ class SessionConfig:
     def with_pipelined(self, pipelined: bool = True) -> "SessionConfig":
         """Copy with double-buffered (pipelined) ingestion toggled."""
         return replace(self, pipelined=pipelined)
+
+    def with_scalar_frontend(self, scalar_frontend: bool = True) -> "SessionConfig":
+        """Copy with the scalar reference front end toggled."""
+        return replace(self, scalar_frontend=scalar_frontend)
 
     def resolved_tenant(self, session_id: str) -> str:
         """The accounting principal: ``tenant``, or the session id when unset."""
@@ -178,6 +189,7 @@ class MapSession:
             pipelined=self.config.pipelined,
             metrics=metrics,
             tenant=self.tenant,
+            scalar_frontend=self.config.scalar_frontend,
         )
         self.cache = GenerationLRUCache(self.config.cache_capacity)
         self.query_engine = QueryEngine(self.router, self.backend, self.cache, self.stats)

@@ -24,7 +24,9 @@ region, which is what makes the export stitch conflict-free.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.accelerator import OMUAccelerator
 from repro.core.address_gen import AddressGenerator
@@ -94,6 +96,34 @@ class ShardRouter:
         per_shard: List[List[VoxelUpdateRequest]] = [[] for _ in range(self.num_shards)]
         for request in requests:
             per_shard[self.shard_for_key(request.key)].append(request)
+        return per_shard
+
+    def shard_indices_for_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Shard ids for an ``(N, 3)`` key-component array (vectorized)."""
+        return self._address_generator.shard_indices(
+            keys, self.num_shards, self.prefix_levels
+        )
+
+    def partition_key_arrays(
+        self, keys: np.ndarray, occupied: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Array counterpart of :meth:`partition` for the vectorized front end.
+
+        Args:
+            keys: ``(N, 3)`` key components of the ordered update stream.
+            occupied: ``(N,)`` bool flags aligned with ``keys``.
+
+        Returns:
+            One ``(keys, occupied)`` pair per shard.  Boolean masking keeps
+            stream order inside each shard, so the slices are element-for-
+            element identical to what :meth:`partition` produces from the
+            same stream.
+        """
+        shard_ids = self.shard_indices_for_keys(keys)
+        per_shard: List[Tuple[np.ndarray, np.ndarray]] = []
+        for shard in range(self.num_shards):
+            mask = shard_ids == shard
+            per_shard.append((keys[mask], occupied[mask]))
         return per_shard
 
 

@@ -50,6 +50,10 @@ class SessionStats:
     overlapped_frontend_seconds: float = 0.0
     pipelined_batches: int = 0
     shard_updates: List[int] = field(default_factory=list)
+    #: key-converter derivations by the ingestion front end; exactly 1 per
+    #: session (the pipeline hoists the converter out of the batch loop), so
+    #: any larger value flags a regression back to per-flush derivation.
+    frontend_converter_builds: int = 0
     queue_high_water: int = 0
     #: requests whose ``deadline_s`` (``time.monotonic`` clock) had already
     #: passed when the scheduler popped them for a flush -- the QoS figure

@@ -286,6 +286,22 @@ class ShardUpdateBatch:
             ),
         )
 
+    @classmethod
+    def from_key_arrays(cls, shard_id: int, keys, occupied) -> "ShardUpdateBatch":
+        """Pack an ``(N, 3)`` key array plus ``(N,)`` occupied flags for the wire.
+
+        ``tolist()`` converts the numpy scalars to plain ints/bools, so the
+        resulting entries are byte-identical (and pickle-identical) to what
+        :meth:`from_updates` builds from the equivalent request stream.
+        """
+        return cls(
+            shard_id=shard_id,
+            entries=tuple(
+                (key[0], key[1], key[2], flag)
+                for key, flag in zip(keys.tolist(), occupied.tolist())
+            ),
+        )
+
     def to_updates(self) -> Tuple[VoxelUpdateRequest, ...]:
         """Rebuild the ordered update stream on the worker side."""
         return tuple(

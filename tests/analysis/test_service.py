@@ -8,6 +8,7 @@ from repro.analysis import run_service_workload, service_scaling_experiment
 from repro.analysis.service import (
     backend_scaling_experiment,
     frontend_scaling_experiment,
+    frontend_vectorized_experiment,
     http_frontend_experiment,
     main,
     run_async_service_workload,
@@ -183,6 +184,7 @@ def test_service_main_writes_json(tmp_path, capsys):
         "frontend_scaling",
         "http_frontend",
         "metrics_overhead",
+        "frontend_vectorized",
     ]
     overhead = payload["experiments"][3]
     # One row per instrumentation mode; both ingest the identical workload.
@@ -216,7 +218,48 @@ def test_service_main_can_skip_the_http_sweep(tmp_path, capsys):
     assert [entry["experiment_id"] for entry in payload["experiments"]] == [
         "backend_scaling",
         "frontend_scaling",
+        "frontend_vectorized",
     ]
+
+
+def test_frontend_vectorized_experiment_table_shape():
+    result = frontend_vectorized_experiment(TINY_CLIENTS, repeats=1)
+    assert result.experiment_id == "frontend_vectorized"
+    records = result.records()
+    assert [r["Front end"] for r in records] == ["scalar", "vectorized"]
+    scalar, vectorized = records
+    # Identical update streams is the whole point of the experiment.
+    assert scalar["Updates"] == vectorized["Updates"] > 0
+    assert scalar["Scans"] == vectorized["Scans"] == 2
+    assert scalar["Speedup vs scalar"] == 1.0
+    # The gated cell is the front-end wall ratio.
+    speedup = vectorized["Speedup vs scalar"]
+    assert isinstance(speedup, float)
+    assert speedup == scalar["Frontend wall (s)"] / vectorized["Frontend wall (s)"]
+    for record in records:
+        assert 0.0 <= record["Frontend share (%)"] <= 100.0
+        assert record["Updates/s (wall)"] > 0.0
+
+
+def test_service_main_frontend_gate_fails_when_unmet(tmp_path, capsys):
+    out = tmp_path / "BENCH_gate.json"
+    argv = [
+        "--out", str(out),
+        "--backends", "inline",
+        "--shards", "1",
+        "--scans", "1",
+        "--clients", "1",
+        "--skip-scheduler-sweep",
+        "--skip-http-sweep",
+        "--skip-metrics-sweep",
+        "--skip-frontend-sweep",
+    ]
+    # An absurdly high floor must fail the run...
+    assert main(argv + ["--frontend-gate", "1e9"]) == 1
+    assert "below the" in capsys.readouterr().err
+    # ... and a trivially low one must pass and print the verdict.
+    assert main(argv + ["--frontend-gate", "0.0001"]) == 0
+    assert "Frontend gate OK" in capsys.readouterr().out
 
 
 def test_http_frontend_experiment_prices_the_network_hop():
