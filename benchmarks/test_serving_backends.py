@@ -42,7 +42,7 @@ def test_backend_scaling_sweep(benchmark, save_result, results_dir):
     write_benchmark_json(result, results_dir / "BENCH_serving.json")
 
     records = result.records()
-    assert {r["Backend"] for r in records} == {"inline", "thread", "process"}
+    assert {r["Backend"] for r in records} == {"inline", "thread", "process", "socket"}
     assert {r["Mode"] for r in records} == {"blocking", "pipelined"}
     # Same workload -> same dispatched updates on every backend, shard count
     # and ingestion mode (the serving equivalence property, visible in the

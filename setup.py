@@ -12,13 +12,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="omu-repro",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'OMU: A Probabilistic 3D Occupancy Mapping "
         "Accelerator for Real-time OctoMap at the Edge' (DATE 2022), grown "
         "into a multi-session occupancy-mapping service layer with "
-        "pluggable shard execution backends and an asyncio admission "
-        "front end"
+        "pluggable shard execution backends (including socket-transport "
+        "workers with live failover) and an asyncio admission front end"
     ),
     long_description=(
         "A from-scratch Python reproduction of the OMU occupancy-mapping "
@@ -27,7 +27,8 @@ setup(
         "energy/area models, the paper's tables and figures, and a "
         "multi-session mapping service layer (`repro.serving`) with sharded "
         "ingestion over pluggable execution backends (inline, thread pool, "
-        "one process per shard) and a cached query engine on top."
+        "one process per shard, socket-transport workers with snapshots and "
+        "live failover) and a cached query engine on top."
     ),
     long_description_content_type="text/markdown",
     author="paper-repo-growth",
@@ -50,6 +51,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serving.cli:main",
+            "repro-serve-worker=repro.serving.remote.worker:main",
         ],
     },
     classifiers=[

@@ -303,6 +303,87 @@ class OMUAccelerator:
             kz += half
         return OcTreeKey(kx, ky, kz)
 
+    def load_octree(self, tree: OccupancyOcTree) -> None:
+        """Rebuild the PE memories from a software octree (snapshot restore).
+
+        The inverse of :meth:`export_octree`: every node of ``tree`` becomes
+        a TreeMem entry on the PE owning its first-level branch, with the
+        exact fixed-point raw value the export quantised it from (16-bit raws
+        round-trip float32 losslessly, so serialize -> deserialize -> restore
+        is bit-exact).  The PE array prunes eagerly under the same
+        all-eight-equal-leaves rule the software tree uses, so the pruned
+        tree maps 1:1 onto the PE node representation; a leaf above the
+        finest depth is restored as a pruned homogeneous entry (NULL pointer,
+        all eight tags carrying its classification).
+
+        Restoration targets a *fresh* accelerator only -- cycle counters and
+        access statistics restart at zero (they describe the new lifetime,
+        not the snapshotted one's).
+        """
+        if any(pe._local_roots for pe in self.pes):
+            raise ValueError(
+                "load_octree requires a freshly constructed accelerator "
+                "(this one already holds map state)"
+            )
+        if tree.resolution != self.config.resolution_m:
+            raise ValueError(
+                f"snapshot resolution {tree.resolution} does not match the "
+                f"accelerator's {self.config.resolution_m}"
+            )
+        if tree.tree_depth != self.config.tree_depth:
+            raise ValueError(
+                f"snapshot tree depth {tree.tree_depth} does not match the "
+                f"accelerator's {self.config.tree_depth}"
+            )
+        root = tree.root
+        if root is None:
+            return
+        if not root.has_children():
+            # The whole map pruned to a single root leaf: re-materialise the
+            # eight first-level branches as homogeneous pruned leaves.
+            for branch in range(8):
+                self._load_branch(branch, root)
+            return
+        for branch, child in root.children():
+            self._load_branch(branch, child)
+
+    def _load_branch(self, branch: int, node) -> None:
+        """Restore one first-level branch subtree onto its owning PE."""
+        pe = self.pes[branch % self.config.num_pes]
+        entry = self._restore_entry(pe, node, depth=1)
+        pe.memory.write_entry(0, branch, entry)
+        pe._local_roots[branch] = branch
+
+    def _restore_entry(self, pe, node, depth: int) -> "TreeMemEntry":
+        """Build (and recursively store) the TreeMem image of one tree node."""
+        from repro.core.treemem import NULL_POINTER, ChildStatus, TreeMemEntry
+
+        fmt = self.config.fixed_point
+        raw = fmt.to_raw(node.log_odds)
+        entry = TreeMemEntry(probability_raw=raw)
+        if not node.has_children():
+            if depth < self.config.tree_depth:
+                # Pruned homogeneous region: same representation the PE's
+                # own pruning pass leaves behind (NULL pointer, all eight
+                # tags set to the node's classification).
+                status = pe.probability_unit.classify(raw)
+                entry.child_tags = [status] * 8
+            return entry
+        row = pe.allocator.allocate_row()
+        entry.pointer = row
+        children = [None] * 8
+        for index, child in node.children():
+            child_entry = self._restore_entry(pe, child, depth + 1)
+            children[index] = child_entry
+            if child_entry.pointer != NULL_POINTER:
+                entry.set_tag(index, ChildStatus.INNER)
+            else:
+                entry.set_tag(
+                    index, pe.probability_unit.classify(child_entry.probability_raw)
+                )
+        pe.memory.write_row(row, children)
+        return entry
+
     def counters(self) -> OperationCounters:
         """Merged functional operation counters of all PEs and the ray caster."""
         merged = OperationCounters()

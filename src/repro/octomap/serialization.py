@@ -107,6 +107,8 @@ def _read_stream(stream: BinaryIO) -> OccupancyOcTree:
         raise ValueError(
             f"node count mismatch: header declares {declared_size}, stream holds {count}"
         )
+    if stream.read(1):
+        raise ValueError("trailing bytes after the encoded tree")
     return tree
 
 

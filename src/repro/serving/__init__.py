@@ -13,6 +13,10 @@ ingestion pipeline and a cached query engine.
 * :mod:`repro.serving.backends` -- pluggable shard execution
   (:class:`InlineBackend`, :class:`ThreadPoolBackend`,
   :class:`ProcessPoolBackend`).
+* :mod:`repro.serving.remote` -- the socket-transport backend
+  (:class:`SocketBackend`): shard workers behind TCP endpoints
+  (``repro-serve-worker``), with heartbeat liveness probes, periodic shard
+  snapshots, and live failover onto standby or surviving workers.
 * :mod:`repro.serving.schedulers` -- pluggable ingestion ordering (FIFO,
   priority, earliest-deadline-first).
 * :mod:`repro.serving.batching` -- the ingestion pipeline: admission queue,
@@ -66,11 +70,18 @@ Every session executes its shard work through a pluggable
   the default workload -- see ``python -m repro.analysis.service``).  Worker
   start-up and per-batch pickling make it a poor fit for tiny maps or
   one-scan sessions.
+* ``"socket"`` -- one shard per TCP worker endpoint
+  (``repro-serve-worker``), reachable across process or machine boundaries
+  over a length-prefixed socket RPC.  The only backend that survives worker
+  loss: heartbeat probes detect dead workers, periodic shard snapshots plus
+  a replay tail bound the state at risk, and a dead shard re-homes onto a
+  standby (or surviving) worker with a bounded stall instead of killing the
+  session.  See :mod:`repro.serving.remote`.
 
-All three produce leaf-for-leaf identical maps (a property-based test pins
-this), and the generation-stamped query cache stays correct across process
-boundaries because every apply acknowledgement carries the worker's write
-generation.
+All four produce leaf-for-leaf identical maps (a property-based test pins
+this, including across a mid-ingest worker kill on the socket backend), and
+the generation-stamped query cache stays correct across process boundaries
+because every apply acknowledgement carries the worker's write generation.
 
 Pipelined ingestion
 -------------------
@@ -140,6 +151,14 @@ from repro.serving.metrics import (
     write_metrics_json,
 )
 from repro.serving.query_engine import QueryEngine
+from repro.serving.remote import (
+    LocalWorkerHandle,
+    ShardWorkerServer,
+    SocketBackend,
+    WorkerRegistry,
+    spawn_local_worker,
+    spawn_worker_process,
+)
 from repro.serving.schedulers import (
     SCHEDULER_POLICIES,
     DeadlineScheduler,
@@ -163,6 +182,7 @@ from repro.serving.types import (
     ShardExportResult,
     ShardQueryRequest,
     ShardQueryResult,
+    ShardSnapshot,
     ShardUpdateBatch,
 )
 
@@ -186,6 +206,7 @@ __all__ = [
     "IngestionPipeline",
     "InlineBackend",
     "LatencyHistogram",
+    "LocalWorkerHandle",
     "MapSession",
     "MapSessionManager",
     "MapServiceClient",
@@ -210,13 +231,19 @@ __all__ = [
     "ShardQueryRequest",
     "ShardQueryResult",
     "ShardRouter",
+    "ShardSnapshot",
     "ShardUpdateBatch",
+    "ShardWorkerServer",
+    "SocketBackend",
     "TenantQuota",
     "TenantQuotaExceeded",
     "TenantQuotaRegistry",
     "ThreadPoolBackend",
+    "WorkerRegistry",
     "make_backend",
     "make_scheduler",
+    "spawn_local_worker",
+    "spawn_worker_process",
     "submit_interleaved_stream",
     "write_metrics_json",
 ]

@@ -36,7 +36,7 @@ Equivalence: the flusher preserves each client's submit order per session
 (one FIFO queue, one consumer), so async multi-client ingestion of a request
 sequence produces a map equivalent to sequential insertion in dispatch order
 -- the same property the synchronous serving layer guarantees, verified by
-``tests/serving/test_aio.py`` on all three execution backends.
+``tests/serving/test_aio.py`` across the execution backends.
 
 Worker-process caveat: with ``backend="process"`` and the default ``fork``
 start method, create the sessions *before* the first await that touches the
@@ -63,6 +63,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Dict, List, Optional, Sequence
 
+from repro.serving.backends import ShardBackendError
 from repro.serving.manager import MapSessionManager
 from repro.serving.metrics import (
     OUTCOME_ERROR,
@@ -88,6 +89,18 @@ from repro.serving.types import (
 )
 
 __all__ = ["AdmissionQueueFull", "AsyncMapService", "submit_interleaved_stream"]
+
+
+def _describe_failure(failure: BaseException) -> str:
+    """Render a stored ingestion failure for a surfaced RuntimeError.
+
+    Backend errors know which shard and worker died
+    (:meth:`ShardBackendError.describe`); everything else falls back to
+    ``repr``.
+    """
+    if isinstance(failure, ShardBackendError):
+        return failure.describe()
+    return repr(failure)
 
 
 class AdmissionQueueFull(RuntimeError):
@@ -272,7 +285,7 @@ class AsyncMapService:
             if entry.failure is not None:
                 raise RuntimeError(
                     f"session {session_id!r} fail-stopped after an ingestion "
-                    f"error: {entry.failure!r}"
+                    f"error: {_describe_failure(entry.failure)}"
                 ) from entry.failure
             return entry
         if create:
@@ -533,7 +546,7 @@ class AsyncMapService:
             # request that will never be ingested.
             raise RuntimeError(
                 f"session {request.session_id!r} fail-stopped after an "
-                f"ingestion error: {entry.failure!r}"
+                f"ingestion error: {_describe_failure(entry.failure)}"
             ) from entry.failure
         stats.async_submits += 1
         depth = entry.queue.qsize()

@@ -60,6 +60,7 @@ degenerates to exactly the serial reference semantics.
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Type
@@ -89,7 +90,45 @@ __all__ = [
 
 
 class ShardBackendError(RuntimeError):
-    """A shard execution backend failed (worker crash, use after close)."""
+    """A shard execution backend failed (worker crash, use after close).
+
+    Carries enough structure for callers to tell *which* shard died and
+    where it lived, instead of parsing the message:
+
+    Attributes:
+        shard_id: index of the failed shard, or ``None`` when the failure is
+            not attributable to one shard (close/fail-stop guards, dispatch
+            protocol violations).
+        worker_id: identity of the worker that served the shard (e.g.
+            ``"process:12345"`` or ``"127.0.0.1:41234"``), or ``None``.
+        remote_traceback: the worker-side traceback string when the failure
+            was an exception reported across the process/socket boundary.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: Optional[int] = None,
+        worker_id: Optional[str] = None,
+        remote_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.worker_id = worker_id
+        self.remote_traceback = remote_traceback
+
+    def describe(self) -> str:
+        """The message annotated with the shard/worker identity when known."""
+        message = str(self)
+        details = []
+        if self.shard_id is not None:
+            details.append(f"shard {self.shard_id}")
+        if self.worker_id is not None:
+            details.append(f"worker {self.worker_id}")
+        if details:
+            return f"{message} [{', '.join(details)}]"
+        return message
 
 
 class ShardBackend(ABC):
@@ -329,6 +368,26 @@ class ShardBackend(ABC):
         """Updates applied per shard (parent-side accounting)."""
         return tuple(self._updates_applied)
 
+    def failover_stats(self) -> Dict[str, float]:
+        """Liveness/recovery counters of the backend (all zero by default).
+
+        Backends without detect-and-recover machinery (everything in this
+        module) report zeros; :class:`~repro.serving.remote.SocketBackend`
+        overrides this with its snapshot/failover accounting.  The ingestion
+        pipeline copies the dict into :class:`~repro.serving.stats.
+        SessionStats` after every finalized batch, the same way it adopts
+        ``shard_load``.
+        """
+        return {
+            "snapshots_taken": 0,
+            "failovers": 0,
+            "replayed_batches": 0,
+            "replayed_updates": 0,
+            "recovery_wall_seconds": 0.0,
+            "heartbeat_probes": 0,
+            "heartbeat_failures": 0,
+        }
+
     def close(self) -> None:
         """Release workers (processes, threads).  Idempotent.
 
@@ -510,7 +569,9 @@ def _shard_worker_main(connection, shard_id: int, config: OMUConfig) -> None:
                 raise ValueError(f"unknown shard command {verb!r}")
             connection.send(("ok", reply))
         except Exception as error:  # noqa: BLE001 - report, don't die
-            connection.send(("error", f"{type(error).__name__}: {error}"))
+            connection.send(
+                ("error", (f"{type(error).__name__}: {error}", traceback.format_exc()))
+            )
     connection.close()
 
 
@@ -585,15 +646,26 @@ class ProcessPoolBackend(ShardBackend):
         except (EOFError, OSError) as error:
             raise self._worker_lost(shard_id, error) from error
         if status != "ok":
-            raise ShardBackendError(f"shard {shard_id} worker failed: {payload}")
+            message, remote_traceback = payload
+            raise ShardBackendError(
+                f"shard {shard_id} worker failed: {message}",
+                shard_id=shard_id,
+                worker_id=self._worker_id(shard_id),
+                remote_traceback=remote_traceback,
+            )
         return payload
+
+    def _worker_id(self, shard_id: int) -> str:
+        return f"process:{self.processes[shard_id].pid}"
 
     def _worker_lost(self, shard_id: int, error: Exception) -> ShardBackendError:
         process = self.processes[shard_id]
         process.join(timeout=1.0)
         return ShardBackendError(
             f"shard {shard_id} worker process died "
-            f"(exit code {process.exitcode}): {error}"
+            f"(exit code {process.exitcode}): {error}",
+            shard_id=shard_id,
+            worker_id=self._worker_id(shard_id),
         )
 
     def _health_check(self) -> None:
@@ -606,7 +678,9 @@ class ProcessPoolBackend(ShardBackend):
             if not process.is_alive():
                 raise ShardBackendError(
                     f"shard {shard_id} worker process died "
-                    f"(exit code {process.exitcode})"
+                    f"(exit code {process.exitcode})",
+                    shard_id=shard_id,
+                    worker_id=self._worker_id(shard_id),
                 )
 
     def _gather(self, shard_ids: Sequence[int]) -> List:
@@ -676,8 +750,14 @@ BACKENDS: Dict[str, Type[ShardBackend]] = {
     ProcessPoolBackend.name: ProcessPoolBackend,
 }
 
+#: The socket-transport backend lives in :mod:`repro.serving.remote` and is
+#: registered by name only: importing it here would pull the whole remote
+#: stack (and its worker server) into every session, so ``make_backend``
+#: imports it lazily on first use.
+SOCKET_BACKEND_NAME = "socket"
+
 #: Names accepted by :class:`~repro.serving.session.SessionConfig` / the CLI.
-BACKEND_NAMES: Tuple[str, ...] = tuple(sorted(BACKENDS))
+BACKEND_NAMES: Tuple[str, ...] = tuple(sorted((*BACKENDS, SOCKET_BACKEND_NAME)))
 
 
 def make_backend(
@@ -685,8 +765,31 @@ def make_backend(
     config: OMUConfig,
     num_shards: int,
     start_method: Optional[str] = None,
+    workers: Sequence[str] = (),
+    standby_workers: int = 1,
+    snapshot_every_batches: int = 8,
+    heartbeat_interval_s: float = 1.0,
+    heartbeat_timeout_s: float = 5.0,
 ) -> ShardBackend:
-    """Instantiate a shard execution backend by registry name."""
+    """Instantiate a shard execution backend by registry name.
+
+    ``start_method`` applies to the process backend only; ``workers`` (and
+    the snapshot/heartbeat knobs) to the socket backend only -- an empty
+    ``workers`` tuple makes the socket backend spawn local in-process
+    workers, so tests and demos need no manual orchestration.
+    """
+    if name == SOCKET_BACKEND_NAME:
+        from repro.serving.remote import SocketBackend
+
+        return SocketBackend(
+            config,
+            num_shards,
+            endpoints=workers,
+            standby_workers=standby_workers,
+            snapshot_every_batches=snapshot_every_batches,
+            heartbeat_interval_s=heartbeat_interval_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+        )
     try:
         backend_type = BACKENDS[name]
     except KeyError:

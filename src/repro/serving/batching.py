@@ -416,6 +416,10 @@ class IngestionPipeline:
             if report.overlapped:
                 self.stats.overlapped_frontend_seconds += report.frontend_seconds
         self.stats.shard_updates = list(self.backend.shard_load())
+        # Absolute counters owned by the backend (non-zero on the socket
+        # backend only), mirrored into the stats block like shard_updates.
+        for counter, value in self.backend.failover_stats().items():
+            setattr(self.stats, counter, value)
         if self.metrics is not None and self.metrics.enabled:
             # One record per dispatched batch: the apply/drain leg of the
             # ingest path, on the store's clock (finalize time minus wall).

@@ -66,7 +66,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKEND_NAMES,
         default="inline",
-        help="shard execution backend (default inline; 'process' runs one worker process per shard)",
+        help=(
+            "shard execution backend (default inline; 'process' runs one worker "
+            "process per shard; 'socket' serves shards from repro-serve-worker "
+            "TCP endpoints with snapshots and live failover)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        default="",
+        help=(
+            "socket backend: comma-separated host:port endpoints of running "
+            "repro-serve-worker processes, in shard order (extras become "
+            "failover standbys); empty spawns local workers automatically"
+        ),
+    )
+    parser.add_argument(
+        "--standby-workers",
+        type=int,
+        default=1,
+        help="socket backend: extra auto-spawned standby workers (default 1)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help=(
+            "socket backend: shard snapshot cadence in acknowledged batches; "
+            "smaller bounds failover replay tighter (default 8)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="socket backend: quiet seconds before a liveness ping (default 1.0)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="socket backend: ping reply deadline in seconds (default 5.0)",
     )
     parser.add_argument(
         "--pipeline",
@@ -220,6 +260,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scheduler_policy=args.scheduler,
             batch_size=args.batch_size,
             scalar_frontend=args.scalar_frontend,
+            workers=tuple(
+                endpoint.strip()
+                for endpoint in args.workers.split(",")
+                if endpoint.strip()
+            ),
+            standby_workers=args.standby_workers,
+            snapshot_every_batches=args.snapshot_every,
+            heartbeat_interval_s=args.heartbeat_interval,
+            heartbeat_timeout_s=args.heartbeat_timeout,
         ).with_resolution(args.resolution)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

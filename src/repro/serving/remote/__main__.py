@@ -1,0 +1,14 @@
+"""``python -m repro.serving.remote``: run one shard worker server.
+
+Equivalent to the ``repro-serve-worker`` console script.  (Spawning the
+worker module itself with ``-m repro.serving.remote.worker`` would re-execute
+a module the package ``__init__`` already imported -- runpy warns about
+that -- so process spawns go through this shim instead.)
+"""
+
+import sys
+
+from repro.serving.remote.worker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

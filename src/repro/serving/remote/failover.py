@@ -1,0 +1,80 @@
+"""Replay-tail bookkeeping and recovery records for live failover.
+
+Snapshots make worker loss survivable; the replay log makes it *cheap*.
+Between two snapshots of a shard, every acknowledged non-empty update batch
+is kept (parent-side) in that shard's replay tail.  Recovery is then:
+rehydrate the last snapshot on a new worker, replay the tail in dispatch
+order, re-send whatever was in flight when the worker died.  Because the
+log is truncated at every snapshot, the tail -- and therefore the recovery
+stall -- is bounded by the snapshot cadence, not by the session's age.
+
+Replaying is exact, not approximate: per-shard batches apply in dispatch
+order, each non-empty batch bumps the worker's generation by one, and the
+snapshot restored the pre-tail generation -- so a recovered shard lands on
+precisely the generation the parent last adopted, keeping the
+generation-stamped query cache honest across a failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.serving.types import ShardUpdateBatch
+
+__all__ = ["ReplayLog", "RecoveryReport"]
+
+
+class ReplayLog:
+    """Per-shard tails of acknowledged batches since the last snapshot."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self._tails: List[List[ShardUpdateBatch]] = [[] for _ in range(num_shards)]
+
+    def record(self, batch: ShardUpdateBatch) -> None:
+        """Append one acknowledged batch to its shard's tail."""
+        self._tails[batch.shard_id].append(batch)
+
+    def truncate(self, shard_id: int) -> None:
+        """Drop a shard's tail (a fresh snapshot covers it now)."""
+        self._tails[shard_id] = []
+
+    def tail(self, shard_id: int) -> Tuple[ShardUpdateBatch, ...]:
+        """The batches to replay on top of the shard's last snapshot."""
+        return tuple(self._tails[shard_id])
+
+    def tail_length(self, shard_id: int) -> int:
+        """Batches currently in a shard's tail (snapshot-cadence trigger)."""
+        return len(self._tails[shard_id])
+
+    def tail_updates(self, shard_id: int) -> int:
+        """Voxel updates currently in a shard's tail."""
+        return sum(len(batch) for batch in self._tails[shard_id])
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """One completed shard recovery (observability/tests).
+
+    Attributes:
+        shard_id: shard that was re-homed.
+        from_worker: endpoint of the dead worker.
+        to_worker: endpoint the shard now lives on.
+        restored_generation: generation of the snapshot image the new worker
+            started from (0 when the shard restarted fresh, pre-snapshot).
+        replayed_batches / replayed_updates: size of the replayed tail.
+        redispatched_inflight: True when the flush that detected the death
+            had this shard's slice in flight and it was re-sent.
+        wall_seconds: kill-detection to recovered wall-clock time.
+    """
+
+    shard_id: int
+    from_worker: str
+    to_worker: str
+    restored_generation: int
+    replayed_batches: int
+    replayed_updates: int
+    redispatched_inflight: bool
+    wall_seconds: float

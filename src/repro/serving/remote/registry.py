@@ -1,0 +1,136 @@
+"""Worker registry: which TCP endpoint serves which shard, and who is left.
+
+The registry is the socket backend's map of the worker fleet.  Endpoints are
+ordered: the first ``num_shards`` of them are the primary homes of shards
+``0..num_shards-1``; any extras are *standbys* -- idle workers a failed
+shard re-homes onto first.  When no idle standby is left, the shard is
+co-hosted on the live worker already carrying the fewest shards, so a
+session degrades gradually (less parallelism) instead of dying with its
+first worker.  Only when every worker is dead does reassignment fail, and
+the backend falls back to the old fail-stop behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Union
+
+__all__ = ["WorkerEndpoint", "WorkerRegistry", "NoLiveWorkerError"]
+
+
+class NoLiveWorkerError(RuntimeError):
+    """Every registered worker endpoint is dead; the shard cannot re-home."""
+
+
+@dataclass(frozen=True, order=True)
+class WorkerEndpoint:
+    """One worker's TCP address."""
+
+    host: str
+    port: int
+
+    @classmethod
+    def parse(cls, text: Union[str, "WorkerEndpoint"]) -> "WorkerEndpoint":
+        """Build from a ``host:port`` string (pass-through for instances)."""
+        if isinstance(text, WorkerEndpoint):
+            return text
+        host, separator, port = text.rpartition(":")
+        if not separator or not host:
+            raise ValueError(f"worker endpoint {text!r} is not of the form host:port")
+        return cls(host=host, port=int(port))
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class WorkerRegistry:
+    """Shard -> endpoint assignment with liveness tracking."""
+
+    def __init__(self, endpoints: Sequence[WorkerEndpoint], num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        parsed = [WorkerEndpoint.parse(endpoint) for endpoint in endpoints]
+        if len(set(parsed)) != len(parsed):
+            raise ValueError(f"duplicate worker endpoints in {parsed}")
+        if len(parsed) < num_shards:
+            raise ValueError(
+                f"{num_shards} shards need at least {num_shards} worker "
+                f"endpoints; got {len(parsed)}"
+            )
+        self.num_shards = num_shards
+        self._endpoints: List[WorkerEndpoint] = parsed
+        self._dead: Set[WorkerEndpoint] = set()
+        self._assignment: Dict[int, WorkerEndpoint] = {
+            shard_id: parsed[shard_id] for shard_id in range(num_shards)
+        }
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def endpoints(self) -> List[WorkerEndpoint]:
+        """Every registered endpoint, in registration order."""
+        return list(self._endpoints)
+
+    def endpoint_for(self, shard_id: int) -> WorkerEndpoint:
+        """The endpoint currently serving a shard."""
+        return self._assignment[shard_id]
+
+    def assignment(self) -> Dict[int, WorkerEndpoint]:
+        """Snapshot of the shard -> endpoint map (observability/tests)."""
+        return dict(self._assignment)
+
+    def is_dead(self, endpoint: WorkerEndpoint) -> bool:
+        """True once the endpoint was declared dead."""
+        return endpoint in self._dead
+
+    def standbys(self) -> List[WorkerEndpoint]:
+        """Live endpoints currently hosting no shard (re-homing targets)."""
+        hosting = set(self._assignment.values())
+        return [
+            endpoint
+            for endpoint in self._endpoints
+            if endpoint not in self._dead and endpoint not in hosting
+        ]
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def mark_dead(self, endpoint: WorkerEndpoint) -> None:
+        """Declare an endpoint dead; it is never picked for re-homing again."""
+        self._dead.add(endpoint)
+
+    def reassign(self, shard_id: int) -> WorkerEndpoint:
+        """Re-home a shard: idle live standby first, else co-host on the
+        live worker carrying the fewest shards.
+
+        Raises:
+            NoLiveWorkerError: when no live endpoint remains.
+        """
+        standbys = self.standbys()
+        if standbys:
+            target = standbys[0]
+        else:
+            load: Dict[WorkerEndpoint, int] = {}
+            for owner in self._assignment.values():
+                load[owner] = load.get(owner, 0) + 1
+            candidates = [
+                endpoint
+                for endpoint in self._endpoints
+                if endpoint not in self._dead and endpoint in load
+            ]
+            if not candidates:
+                raise NoLiveWorkerError(
+                    f"no live worker left to re-home shard {shard_id} onto "
+                    f"({len(self._dead)} of {len(self._endpoints)} endpoints dead)"
+                )
+            target = min(candidates, key=lambda endpoint: load[endpoint])
+        self._assignment[shard_id] = target
+        return target
+
+    def add(self, endpoint: WorkerEndpoint) -> None:
+        """Register a late-spawned endpoint (becomes a standby)."""
+        endpoint = WorkerEndpoint.parse(endpoint)
+        if endpoint in self._endpoints:
+            raise ValueError(f"endpoint {endpoint} is already registered")
+        self._endpoints.append(endpoint)

@@ -2,7 +2,8 @@
 
 A :class:`MapSession` is the unit of multi-tenancy: it owns a pool of shard
 workers behind a pluggable :class:`~repro.serving.backends.ShardBackend`
-(inline, thread pool, or one process per shard), partitioned by octree-key
+(inline, thread pool, one process per shard, or one TCP worker per shard
+with live failover), partitioned by octree-key
 prefix, an ingestion pipeline feeding them, a cached query engine reading
 them, and a stats block recording everything.  Sessions are fully isolated --
 nothing but the Python process is shared between two sessions of one
@@ -46,9 +47,11 @@ class SessionConfig:
             ``10...``, negative ``01...``), so octant-level sharding cannot
             split any one octant's work and buys almost no parallelism.
         backend: shard execution backend -- ``"inline"`` (serial reference),
-            ``"thread"`` (concurrent fan-out, GIL-bound) or ``"process"``
-            (one worker process per shard, true CPU parallelism).  See
-            :mod:`repro.serving.backends` for when to pick each.
+            ``"thread"`` (concurrent fan-out, GIL-bound), ``"process"``
+            (one worker process per shard, true CPU parallelism) or
+            ``"socket"`` (one TCP worker per shard with snapshots and live
+            failover).  See :mod:`repro.serving.backends` for when to pick
+            each.
         pipelined: double-buffered ingestion -- the pipeline ray-casts batch
             N+1 while the backend applies batch N, with at most one batch in
             flight.  Leaf-for-leaf equivalent to blocking ingestion on every
@@ -87,6 +90,21 @@ class SessionConfig:
             byte-identical per-shard update streams; the scalar path is an
             order of magnitude slower and exists for A/B verification and
             benchmarking (``repro-serve --scalar-frontend``).
+        workers: ``host:port`` endpoints of ``repro-serve-worker`` processes
+            for the ``"socket"`` backend, in shard order; endpoints beyond
+            ``num_shards`` are standbys for failover.  Empty (the default)
+            spawns local in-process workers automatically.  Ignored by the
+            other backends.
+        standby_workers: extra local workers to spawn as failover targets
+            when ``workers`` is empty (socket backend only).
+        snapshot_every_batches: shard snapshot cadence of the socket
+            backend -- after this many acknowledged update batches a shard's
+            subtree is snapshotted and its replay tail truncated, bounding
+            the replay work (and stall) of a failover.
+        heartbeat_interval_s: minimum quiet time on a shard connection
+            before the socket backend probes it with a liveness ping.
+        heartbeat_timeout_s: reply deadline of a liveness ping; a missed
+            deadline triggers shard recovery.
     """
 
     num_shards: int = 2
@@ -104,6 +122,11 @@ class SessionConfig:
     quota_points_per_s: float = 0.0
     quota_burst_s: float = 1.0
     scalar_frontend: bool = False
+    workers: Tuple[str, ...] = ()
+    standby_workers: int = 1
+    snapshot_every_batches: int = 8
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.admission_queue_limit < 1:
@@ -122,6 +145,14 @@ class SessionConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {', '.join(BACKEND_NAMES)}"
             )
+        if self.standby_workers < 0:
+            raise ValueError("standby_workers must be non-negative")
+        if self.snapshot_every_batches < 1:
+            raise ValueError("snapshot_every_batches must be at least 1")
+        if self.heartbeat_interval_s <= 0.0 or self.heartbeat_timeout_s <= 0.0:
+            raise ValueError("heartbeat interval and timeout must be positive")
+        if self.workers and self.backend != "socket":
+            raise ValueError("workers endpoints are only meaningful with backend='socket'")
 
     def with_resolution(self, resolution_m: float) -> "SessionConfig":
         """Copy with a different map resolution on every shard."""
@@ -138,6 +169,10 @@ class SessionConfig:
     def with_scalar_frontend(self, scalar_frontend: bool = True) -> "SessionConfig":
         """Copy with the scalar reference front end toggled."""
         return replace(self, scalar_frontend=scalar_frontend)
+
+    def with_workers(self, workers: Sequence[str]) -> "SessionConfig":
+        """Copy served by the socket backend over the given worker endpoints."""
+        return replace(self, backend="socket", workers=tuple(workers))
 
     def resolved_tenant(self, session_id: str) -> str:
         """The accounting principal: ``tenant``, or the session id when unset."""
@@ -178,6 +213,11 @@ class MapSession:
             self.config.accelerator,
             self.config.num_shards,
             start_method=self.config.mp_start_method,
+            workers=self.config.workers,
+            standby_workers=self.config.standby_workers,
+            snapshot_every_batches=self.config.snapshot_every_batches,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            heartbeat_timeout_s=self.config.heartbeat_timeout_s,
         )
         self.pipeline = IngestionPipeline(
             session_id,

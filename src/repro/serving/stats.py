@@ -76,6 +76,21 @@ class SessionStats:
     shed_requests: int = 0
     #: deepest the bounded asyncio admission queue ever got.
     admission_queue_high_water: int = 0
+    # --- failover (socket backend; copied from ShardBackend.failover_stats) ---
+    #: shard snapshots taken at the snapshot cadence.
+    snapshots_taken: int = 0
+    #: completed shard recoveries (dead worker re-homed, map replayed).
+    failovers: int = 0
+    #: un-snapshotted batches replayed onto replacement workers.
+    replayed_batches: int = 0
+    #: voxel updates inside those replayed batches.
+    replayed_updates: int = 0
+    #: total kill-detection to recovered wall-clock time.
+    recovery_wall_seconds: float = 0.0
+    #: liveness pings sent to quiet shard connections.
+    heartbeat_probes: int = 0
+    #: pings that missed their deadline and triggered recovery.
+    heartbeat_failures: int = 0
     # --- queries ---
     point_queries: int = 0
     batch_queries: int = 0
@@ -205,6 +220,15 @@ class SessionStats:
                 "shed_requests": self.shed_requests,
                 "queue_high_water": self.admission_queue_high_water,
             },
+            "failover": {
+                "snapshots_taken": self.snapshots_taken,
+                "failovers": self.failovers,
+                "replayed_batches": self.replayed_batches,
+                "replayed_updates": self.replayed_updates,
+                "recovery_wall_seconds": self.recovery_wall_seconds,
+                "heartbeat_probes": self.heartbeat_probes,
+                "heartbeat_failures": self.heartbeat_failures,
+            },
             "queries": {
                 "point": self.point_queries,
                 "batch": self.batch_queries,
@@ -251,6 +275,16 @@ class ServiceStats:
         "Quota rejects",
         "Shed",
         "Queue high-water",
+    )
+    FAILOVER_HEADERS: Tuple[str, ...] = (
+        "Session",
+        "Snapshots",
+        "Failovers",
+        "Replayed batches",
+        "Replayed updates",
+        "Recovery wall (ms)",
+        "Heartbeats",
+        "Missed",
     )
     BACKEND_HEADERS: Tuple[str, ...] = (
         "Session",
@@ -327,6 +361,8 @@ class ServiceStats:
                 "queue_rejects": sum(stats.queue_rejects for stats in self),
                 "quota_rejects": sum(stats.quota_rejects for stats in self),
                 "shed_requests": sum(stats.shed_requests for stats in self),
+                "snapshots_taken": sum(stats.snapshots_taken for stats in self),
+                "failovers": sum(stats.failovers for stats in self),
             },
         }
 
@@ -387,6 +423,23 @@ class ServiceStats:
             or stats.shed_requests
         ]
 
+    def failover_rows(self) -> List[Tuple[object, ...]]:
+        """Table rows of snapshot/failover counters (sessions that used them)."""
+        return [
+            (
+                stats.session_id,
+                stats.snapshots_taken,
+                stats.failovers,
+                stats.replayed_batches,
+                stats.replayed_updates,
+                1e3 * stats.recovery_wall_seconds,
+                stats.heartbeat_probes,
+                stats.heartbeat_failures,
+            )
+            for stats in sorted(self, key=lambda s: s.session_id)
+            if stats.snapshots_taken or stats.failovers or stats.heartbeat_probes
+        ]
+
     def backend_rows(self) -> List[Tuple[object, ...]]:
         """Table rows of the execution-backend counters."""
         return [
@@ -425,5 +478,12 @@ class ServiceStats:
                 "Serving: async admission per session",
                 self.ADMISSION_HEADERS,
                 admission,
+            )
+        failover = self.failover_rows()
+        if failover:
+            block += "\n\n" + render_table(
+                "Serving: snapshots and failover per session",
+                self.FAILOVER_HEADERS,
+                failover,
             )
         return block

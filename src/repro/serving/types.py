@@ -39,6 +39,7 @@ __all__ = [
     "ShardQueryRequest",
     "ShardQueryResult",
     "ShardExportResult",
+    "ShardSnapshot",
 ]
 
 
@@ -382,3 +383,32 @@ class ShardExportResult:
     shard_id: int
     tree: object  # OccupancyOcTree; typed loosely to keep this module light
     generation: int
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """A durable point-in-time image of one shard's map state.
+
+    The payload is the shard's exported subtree in the
+    :mod:`repro.octomap.serialization` byte format, so a snapshot taken by
+    one worker can rehydrate the shard on any other worker (live failover)
+    or survive on disk between runs.  The accounting fields restore the
+    shard's externally visible counters -- in particular ``generation``,
+    which the query cache's invalidation stamps build on: a restored shard
+    replays its un-snapshotted flushes on top of this image, each non-empty
+    replayed batch bumps the generation by one, and the shard ends up at
+    exactly the generation the parent last adopted.
+
+    Attributes:
+        shard_id: shard the image belongs to.
+        generation: the shard's write generation when the image was taken.
+        batches_applied: batches applied up to the image.
+        updates_applied: voxel updates applied up to the image.
+        payload: serialized subtree bytes (``serialize_tree`` format).
+    """
+
+    shard_id: int
+    generation: int
+    batches_applied: int
+    updates_applied: int
+    payload: bytes

@@ -183,10 +183,15 @@ def test_service_main_writes_json(tmp_path, capsys):
         "backend_scaling",
         "frontend_scaling",
         "http_frontend",
+        "kill_recovery",
         "metrics_overhead",
         "frontend_vectorized",
     ]
-    overhead = payload["experiments"][3]
+    failover = payload["experiments"][3]
+    # Every cadence row recovered and re-verified leaf-for-leaf equivalence.
+    assert failover["records"], "kill_recovery sweep produced no rows"
+    assert all(r["Map equivalent"] == "yes" for r in failover["records"])
+    overhead = payload["experiments"][4]
     # One row per instrumentation mode; both ingest the identical workload.
     assert {r["Metrics"] for r in overhead["records"]} == {"on", "off"}
     assert len({r["Updates"] for r in overhead["records"]}) == 1
@@ -211,6 +216,7 @@ def test_service_main_can_skip_the_http_sweep(tmp_path, capsys):
             "--skip-scheduler-sweep",
             "--skip-http-sweep",
             "--skip-metrics-sweep",
+            "--skip-failover-sweep",
         ]
     )
     assert exit_code == 0

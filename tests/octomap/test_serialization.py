@@ -81,3 +81,54 @@ class TestErrorHandling:
         ) + b"data\n" + body
         with pytest.raises(ValueError, match="mismatch"):
             deserialize_tree(corrupted)
+
+
+class TestTornReads:
+    """Byte-precise torn-read coverage: a snapshot cut off at *any* point --
+    inside the header, on a node-record boundary, or mid-record -- must be
+    rejected, never silently deserialized into a shorter tree.  This is what
+    the failover path leans on when it rehydrates shard snapshots."""
+
+    def test_every_header_truncation_rejected(self, small_tree):
+        data = serialize_tree(small_tree)
+        header_end = data.index(b"data\n") + len(b"data\n")
+        for cut in range(header_end):
+            with pytest.raises(ValueError):
+                deserialize_tree(data[:cut])
+
+    def test_mid_record_truncation_rejected(self, small_tree):
+        data = serialize_tree(small_tree)
+        header_end = data.index(b"data\n") + len(b"data\n")
+        record = 5  # struct "<fB": float32 log-odds + child bitmap
+        assert (len(data) - header_end) % record == 0
+        # Cut inside the first, a middle, and the last node record.
+        for offset in (1, record + 2, len(data) - header_end - 1):
+            with pytest.raises(ValueError, match="truncated node record"):
+                deserialize_tree(data[: header_end + offset])
+
+    def test_record_boundary_truncation_rejected(self, small_tree):
+        """A cut on a record boundary still fails: either the pre-order
+        recursion runs out of declared children (truncated record) or the
+        header-declared node count catches the short stream."""
+        data = serialize_tree(small_tree)
+        header_end = data.index(b"data\n") + len(b"data\n")
+        assert small_tree.size() >= 2
+        with pytest.raises(ValueError, match="truncated node record|mismatch"):
+            deserialize_tree(data[: header_end + 5 * (small_tree.size() - 1)])
+
+    def test_trailing_garbage_rejected(self, small_tree):
+        data = serialize_tree(small_tree)
+        with pytest.raises(ValueError, match="trailing bytes"):
+            deserialize_tree(data + b"\x00" * 5)
+
+    def test_corrupted_child_bitmap_still_parses_as_values(self, small_tree):
+        """Flipping payload bytes (not lengths) cannot be detected by the
+        framing -- but it must never crash the parser either; the node count
+        check is the only structural guarantee."""
+        data = bytearray(serialize_tree(small_tree))
+        header_end = data.index(b"data\n") + len(b"data\n")
+        data[header_end + 4] ^= 0xFF  # first node's child bitmap
+        try:
+            deserialize_tree(bytes(data))
+        except ValueError:
+            pass  # structurally detected -- also acceptable

@@ -38,3 +38,19 @@ def small_requests(small_scans) -> List[ScanRequest]:
         ScanRequest.from_scan_node("map", scan).with_request_id(index)
         for index, scan in enumerate(small_scans)
     ]
+
+
+@pytest.fixture
+def chaos():
+    """A fresh fault-injection harness for socket-backend chaos tests.
+
+    Arm faults with :meth:`ChaosHarness.arm` and build backends with
+    :meth:`ChaosHarness.make_backend`; see ``tests/serving/faultinject.py``.
+    Any workers spawned through the harness are reaped on teardown.
+    """
+    from faultinject import ChaosHarness
+
+    harness = ChaosHarness()
+    yield harness
+    for handle in harness.handles.values():
+        handle.stop()

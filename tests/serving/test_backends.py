@@ -26,7 +26,7 @@ from repro.serving import (
 
 CONFIG = DEFAULT_CONFIG.with_resolution(0.25)
 
-ALL_BACKENDS = ["inline", "thread", "process"]
+ALL_BACKENDS = ["inline", "thread", "process", "socket"]
 
 
 def _updates_for(backend, n=16):
@@ -53,7 +53,7 @@ def _updates_for(backend, n=16):
 # Registry / construction
 # ---------------------------------------------------------------------------
 def test_backend_registry_names():
-    assert BACKEND_NAMES == ("inline", "process", "thread")
+    assert BACKEND_NAMES == ("inline", "process", "socket", "thread")
     assert isinstance(make_backend("inline", CONFIG, 2), InlineBackend)
 
 
@@ -150,13 +150,18 @@ def test_manager_shutdown_closes_every_session():
 def test_dead_worker_process_surfaces_as_backend_error():
     backend = ProcessPoolBackend(CONFIG, num_shards=2)
     try:
+        dead_pid = backend.processes[1].pid
         backend.processes[1].terminate()
         backend.processes[1].join(timeout=5.0)
-        with pytest.raises(ShardBackendError, match="shard 1 worker process died"):
+        with pytest.raises(ShardBackendError, match="shard 1 worker process died") as info:
             # Killed worker: the round-trip must error out, not hang.
             backend.apply_shard_batches(
                 [ShardUpdateBatch(shard_id=1, entries=((5, 5, 5, True),))]
             )
+        # The error is structured: it names the shard and worker that died.
+        assert info.value.shard_id == 1
+        assert info.value.worker_id == f"process:{dead_pid}"
+        assert f"[shard 1, worker process:{dead_pid}]" in info.value.describe()
     finally:
         backend.close()
     assert all(not process.is_alive() for process in backend.processes)
@@ -194,8 +199,11 @@ def test_worker_side_exception_is_reported_not_fatal():
         # the worker must report the error and keep serving.
         bad = ShardQueryRequest(shard_id=9, key=(1, 1, 1))
         backend._send(0, "query", bad)
-        with pytest.raises(ShardBackendError, match="shard 0 worker failed"):
+        with pytest.raises(ShardBackendError, match="shard 0 worker failed") as info:
             backend._recv(0)
+        # The report carries the worker's own traceback for debugging.
+        assert info.value.shard_id == 0
+        assert "ValueError" in (info.value.remote_traceback or "")
         # The worker survived and still answers well-formed requests.
         answer = backend.query_key(ShardQueryRequest(shard_id=0, key=(1, 1, 1)))
         assert answer.status == "unknown"
