@@ -33,7 +33,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.tables import render_table
-from repro.datasets.streams import ClientSpec, generate_interleaved_stream
+from repro.datasets.streams import (
+    ClientSpec,
+    generate_client_scans,
+    generate_interleaved_stream,
+    poisson_arrival_times,
+)
 
 # NOTE: repro.serving is imported lazily inside the drivers.  The serving
 # stats layer renders through repro.analysis.tables, so a module-level import
@@ -52,6 +57,7 @@ __all__ = [
     "run_async_service_workload",
     "run_service_workload",
     "service_scaling_experiment",
+    "session_scaling_experiment",
     "write_benchmark_json",
 ]
 
@@ -999,6 +1005,191 @@ def kill_recovery_experiment(
     return result
 
 
+def _rank_percentile(values: Sequence[float], quantile: float) -> float:
+    """Latency at the given percentile rank (>= the true percentile)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(quantile * len(ordered)))]
+
+
+def session_scaling_experiment(
+    session_counts: Sequence[int] = (25, 100, 200),
+    fleet_workers: int = 4,
+    backend: str = "thread",
+    scans_per_session: int = 2,
+    arrival_rate_per_s: float = 200.0,
+    num_shards: int = 2,
+    batch_size: int = 4,
+    resolution_m: float = 0.25,
+    seed: int = 0,
+    queue_limit: int = 64,
+    beams_azimuth: int = 32,
+    beams_elevation: int = 2,
+) -> ExperimentResult:
+    """Open-loop session-count sweep over one shared backend fleet.
+
+    The multi-tenant question the fleet exists to answer: how many
+    *sessions* can W workers serve before admission latency degrades?  Each
+    session count N runs the same recipe:
+
+    * every tenant leases its shards from one ``fleet_workers``-slot
+      :class:`~repro.serving.fleet.BackendPool` (no per-session workers);
+    * arrivals follow an *open-loop* Poisson schedule at
+      ``arrival_rate_per_s`` total -- each request fires at its scheduled
+      wall-clock offset whether or not the service kept up, so queueing
+      delay shows up in the latency columns instead of silently slowing the
+      workload down (the coordinated-omission trap of closed-loop drivers);
+    * admission latency is measured from the *scheduled* arrival to
+      admission-queue acceptance, so it includes both backpressure waits and
+      any event-loop lag behind the schedule;
+    * ingest latency is the service-side per-flush wall clock (one batched
+      pop -> coalesce -> shard-apply cycle), pooled over every session.
+
+    All tenants replay the same prototype scan sequence (generated once),
+    which keeps a 200-session sweep cheap without changing what is being
+    measured -- fleet contention, not scan content.
+    """
+    import asyncio
+    import threading
+    import time
+
+    from repro.serving.aio import AsyncMapService
+    from repro.serving.manager import MapSessionManager
+    from repro.serving.session import SessionConfig
+    from repro.serving.types import ScanRequest
+
+    # A deliberately light scan (few beams, short range): the sweep measures
+    # fleet contention under tenant count, not per-scan ingest heft, and the
+    # light scan is what lets a 200-session row finish in CI time.
+    prototype = ClientSpec(
+        client_id="prototype",
+        session_id="prototype",
+        scene="corridor",
+        num_scans=scans_per_session,
+        max_range_m=10.0,
+    )
+    scans = generate_client_scans(
+        prototype,
+        seed=seed,
+        beams_azimuth=beams_azimuth,
+        beams_elevation=beams_elevation,
+    )
+
+    headers = (
+        "Sessions",
+        "Fleet workers",
+        "Peak threads",
+        "Scans",
+        "Offered (scans/s)",
+        "Sustained (scans/s)",
+        "Admit p50 (ms)",
+        "Admit p99 (ms)",
+        "Ingest p50 (ms)",
+        "Ingest p99 (ms)",
+    )
+    rows: List[Tuple[object, ...]] = []
+    for count in session_counts:
+        config = SessionConfig(
+            num_shards=num_shards,
+            batch_size=batch_size,
+            backend=backend,
+            fleet_workers=fleet_workers,
+        ).with_resolution(resolution_m)
+        manager = MapSessionManager(default_config=config)
+        session_ids = [f"tenant-{index:04d}" for index in range(count)]
+        # Round-robin: scan 0 for every tenant, then scan 1, ... -- each
+        # tenant's own scans keep their order under the sorted schedule.
+        requests = [
+            ScanRequest.from_scan_node(
+                session_id,
+                scan,
+                max_range=prototype.max_range_m,
+                client_id=session_id,
+            )
+            for scan in scans
+            for session_id in session_ids
+        ]
+        arrivals = poisson_arrival_times(
+            len(requests), arrival_rate_per_s, seed=seed + count
+        )
+        admit_latencies: List[float] = []
+        peak_threads = threading.active_count()
+
+        async def drive(manager=manager, session_ids=session_ids,
+                        requests=requests, arrivals=arrivals,
+                        admit_latencies=admit_latencies) -> Tuple[float, int]:
+            async with AsyncMapService(manager, queue_limit=queue_limit) as service:
+                for session_id in session_ids:
+                    service.get_or_create_session(session_id)
+                start = time.perf_counter()
+
+                async def fire(request, arrival_s: float) -> None:
+                    delay = start + arrival_s - time.perf_counter()
+                    if delay > 0.0:
+                        await asyncio.sleep(delay)
+                    await service.submit(request)
+                    admit_latencies.append(time.perf_counter() - (start + arrival_s))
+
+                tasks = [
+                    asyncio.ensure_future(fire(request, float(arrival)))
+                    for request, arrival in zip(requests, arrivals)
+                ]
+                await asyncio.gather(*tasks)
+                threads = threading.active_count()
+                await service.flush_all()
+                return time.perf_counter() - start, threads
+
+        try:
+            wall, threads = asyncio.run(drive())
+            peak_threads = max(peak_threads, threads)
+            stats = list(manager.service_stats)
+            total_scans = sum(block.scans_ingested for block in stats)
+            batch_walls = [
+                report.wall_seconds
+                for session_id in session_ids
+                for report in manager.get_session(session_id).pipeline.reports
+            ]
+        finally:
+            manager.shutdown()
+        rows.append(
+            (
+                count,
+                fleet_workers,
+                peak_threads,
+                total_scans,
+                arrival_rate_per_s,
+                total_scans / wall if wall > 0.0 else 0.0,
+                1e3 * _rank_percentile(admit_latencies, 0.50),
+                1e3 * _rank_percentile(admit_latencies, 0.99),
+                1e3 * _rank_percentile(batch_walls, 0.50),
+                1e3 * _rank_percentile(batch_walls, 0.99),
+            )
+        )
+
+    result = ExperimentResult(
+        experiment_id="session_scaling",
+        title=(
+            f"Serving layer: open-loop session-count sweep on one shared "
+            f"{backend} fleet ({fleet_workers} workers)"
+        ),
+        headers=headers,
+        rows=rows,
+    )
+    result.rendered = render_table(result.title, headers, rows)
+    result.notes = (
+        "Open-loop Poisson arrivals: every request fires at its scheduled "
+        "wall-clock offset regardless of service progress, so admission "
+        "latency (scheduled arrival -> queue acceptance) absorbs both "
+        "backpressure and schedule lag instead of hiding them "
+        "(coordinated omission).  Ingest latency is the per-flush wall "
+        "clock pooled over all sessions.  'Peak threads' stays O(fleet "
+        "workers) as sessions grow: tenants lease slots from one "
+        "BackendPool instead of owning workers."
+    )
+    return result
+
+
 def write_benchmark_json(
     result: ExperimentResult, path, extra_results: Sequence[ExperimentResult] = ()
 ) -> Path:
@@ -1110,6 +1301,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the socket-backend kill-recovery latency sweep",
     )
     parser.add_argument(
+        "--skip-session-sweep",
+        action="store_true",
+        help="skip the open-loop session-count sweep on the shared fleet",
+    )
+    parser.add_argument(
+        "--session-counts",
+        nargs="+",
+        type=int,
+        default=[25, 100, 200],
+        help="session counts of the fleet sweep (default: 25 100 200)",
+    )
+    parser.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=4,
+        help="fleet slot count W shared by every session in the sweep (default 4)",
+    )
+    parser.add_argument(
+        "--session-gate",
+        type=float,
+        default=0.0,
+        metavar="P99_MS",
+        help=(
+            "fail (exit 1) if admission p99 in any session-sweep row exceeds "
+            "P99_MS milliseconds (0 disables; CI gates the 200-session row)"
+        ),
+    )
+    parser.add_argument(
         "--clients",
         nargs="+",
         type=int,
@@ -1166,6 +1385,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print(failover_result.rendered)
         print(failover_result.notes)
+    session_result = None
+    if not args.skip_session_sweep:
+        session_result = session_scaling_experiment(
+            session_counts=tuple(args.session_counts),
+            fleet_workers=args.fleet_workers,
+        )
+        extra_results.append(session_result)
+        print()
+        print(session_result.rendered)
+        print(session_result.notes)
     if not args.skip_metrics_sweep:
         metrics_result = metrics_overhead_experiment(clients)
         extra_results.append(metrics_result)
@@ -1199,6 +1428,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 1
         print(f"Frontend gate OK: vectorized {speedup:.1f}x >= {args.frontend_gate}x")
+    if args.session_gate > 0.0 and session_result is not None:
+        worst = max(record["Admit p99 (ms)"] for record in session_result.records())
+        if worst > args.session_gate:
+            print(
+                f"FAIL: session-sweep admission p99 {worst:.1f} ms exceeds the "
+                f"{args.session_gate} ms gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"Session gate OK: worst admission p99 {worst:.1f} ms <= "
+            f"{args.session_gate} ms"
+        )
     return 0
 
 

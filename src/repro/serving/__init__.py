@@ -23,7 +23,12 @@ ingestion pipeline and a cached query engine.
   shared ray-casting front end, overlapping-ray de-duplication, per-shard
   dispatch.
 * :mod:`repro.serving.cache` -- the generation-stamped LRU query cache with
-  per-shard invalidation.
+  per-shard invalidation, TTL-bounded negative entries for unknown space,
+  and whole box-sweep result caching keyed by the shard generation vector.
+* :mod:`repro.serving.fleet` -- the shared backend fleet:
+  :class:`BackendPool` owns one fixed set of execution workers and hands
+  each session a lease (:class:`SessionBackendView`), so hundreds of
+  sessions share O(fleet size) OS resources instead of each owning workers.
 * :mod:`repro.serving.query_engine` -- cached point / batch / bounding-box /
   collision-raycast queries.
 * :mod:`repro.serving.stats` -- per-session latency, throughput and cache
@@ -135,8 +140,9 @@ from repro.serving.backends import (
     make_backend,
 )
 from repro.serving.batching import IngestionPipeline
+from repro.serving.fleet import BackendPool, SessionBackendView
 from repro.serving.http import HttpMapServer, MapServiceClient
-from repro.serving.cache import CacheStats, GenerationLRUCache
+from repro.serving.cache import BboxResultCache, CacheStats, GenerationLRUCache
 from repro.serving.manager import MapSessionManager
 from repro.serving.metrics import (
     DeadlineShed,
@@ -191,8 +197,10 @@ __all__ = [
     "ApplyTicket",
     "AsyncMapService",
     "BACKEND_NAMES",
+    "BackendPool",
     "BatchReport",
     "BboxChunk",
+    "BboxResultCache",
     "BoxOccupancySummary",
     "CacheStats",
     "DeadlineScheduler",
@@ -222,6 +230,7 @@ __all__ = [
     "SCHEDULER_POLICIES",
     "ScanRequest",
     "ServiceStats",
+    "SessionBackendView",
     "SessionConfig",
     "SessionStats",
     "ShardApplyResult",

@@ -17,13 +17,18 @@ two:
   :attr:`~repro.serving.stats.SessionStats.queue_rejects` counter.  Nothing
   here touches the session, so admission latency is queue latency.
 
-* **Ingestion is background work.**  One flusher task per session pulls
-  admitted requests, coalesces up to ``batch_size`` of them, and drives the
-  session's (optionally pipelined) :class:`~repro.serving.batching.
-  IngestionPipeline` inside ``loop.run_in_executor`` -- the event loop never
-  blocks on ray casting or shard applies, and sessions ingest concurrently
-  with each other (the GIL permitting; the process backend's shard applies
-  genuinely overlap).
+* **Ingestion is background work.**  ``SessionConfig.flusher_concurrency``
+  flusher tasks per session (default 1) pull admitted requests, coalesce up
+  to ``batch_size`` of them, and drive the session's (optionally pipelined)
+  :class:`~repro.serving.batching.IngestionPipeline` inside
+  ``loop.run_in_executor`` -- the event loop never blocks on ray casting or
+  shard applies, and sessions ingest concurrently with each other (the GIL
+  permitting; the process backend's shard applies genuinely overlap).  With
+  K > 1 one session overlaps up to K flush cycles: while cycle N's ingest
+  holds the session lock on the executor, cycle N+1 is already popped and
+  coalesced, so the lock is handed over with zero idle gap.  The bound is
+  per session, so a heavy session can occupy at most K executor threads and
+  cannot starve its neighbours on a shared fleet.
 
 * **Reads share the executor.**  :meth:`query` / :meth:`query_batch` /
   :meth:`raycast` / :meth:`query_bbox` run the session's query engine on the
@@ -32,11 +37,15 @@ two:
   touched by one executor thread at a time while different sessions still
   proceed in parallel.
 
-Equivalence: the flusher preserves each client's submit order per session
-(one FIFO queue, one consumer), so async multi-client ingestion of a request
-sequence produces a map equivalent to sequential insertion in dispatch order
--- the same property the synchronous serving layer guarantees, verified by
-``tests/serving/test_aio.py`` across the execution backends.
+Equivalence: with the default single flusher each session preserves submit
+order (one FIFO queue, one consumer), so async multi-client ingestion of a
+request sequence produces a map equivalent to sequential insertion in
+dispatch order -- the same property the synchronous serving layer
+guarantees, verified by ``tests/serving/test_aio.py`` across the execution
+backends.  With ``flusher_concurrency > 1`` batches from the same session
+may interleave (per-batch order still holds), which occupancy mapping
+tolerates: log-odds updates commute, so the final map is insensitive to
+batch ordering.
 
 Worker-process caveat: with ``backend="process"`` and the default ``fork``
 start method, create the sessions *before* the first await that touches the
@@ -117,14 +126,18 @@ class AdmissionQueueFull(RuntimeError):
 
 @dataclass
 class _SessionEntry:
-    """Per-session async state: the admission queue and its flusher task."""
+    """Per-session async state: the admission queue and its flusher tasks."""
 
     session: MapSession
     queue: "asyncio.Queue[ScanRequest]"
-    flusher: "asyncio.Task"
+    #: ``config.flusher_concurrency`` consumer tasks sharing the queue.
+    flushers: List["asyncio.Task"]
     #: serialises executor access to the (non-thread-safe) session between
-    #: the flusher and the query coroutines.
+    #: the flushers and the query coroutines.
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: flusher tasks currently inside a flush cycle (pop -> ingest done);
+    #: its high-water mark lands in ``stats.flusher_overlap_high_water``.
+    active_flushes: int = 0
     #: first ingestion failure; the entry is fail-stopped once set.
     failure: Optional[BaseException] = None
     #: deadline-miss shedding: EMA of per-request ingest cost, fed by the
@@ -226,10 +239,15 @@ class AsyncMapService:
                         ):
                             await self._run_locked(entry, entry.session.flush_all)
             for entry in self._entries.values():
-                entry.flusher.cancel()
+                for flusher in entry.flushers:
+                    flusher.cancel()
             if self._entries:
                 await asyncio.gather(
-                    *(entry.flusher for entry in self._entries.values()),
+                    *(
+                        flusher
+                        for entry in self._entries.values()
+                        for flusher in entry.flushers
+                    ),
                     return_exceptions=True,
                 )
             # Empty the dead queues: each get wakes any submitter still
@@ -300,11 +318,15 @@ class AsyncMapService:
         entry = _SessionEntry(
             session=session,
             queue=asyncio.Queue(maxsize=limit),
-            flusher=None,  # type: ignore[arg-type]  # assigned just below
+            flushers=[],
         )
-        entry.flusher = asyncio.get_running_loop().create_task(
-            self._flusher_loop(entry), name=f"aio-flusher-{session_id}"
-        )
+        loop = asyncio.get_running_loop()
+        entry.flushers = [
+            loop.create_task(
+                self._flusher_loop(entry), name=f"aio-flusher-{session_id}-{index}"
+            )
+            for index in range(session.config.flusher_concurrency)
+        ]
         self._entries[session_id] = entry
         return entry
 
@@ -382,21 +404,34 @@ class AsyncMapService:
     # Background flusher
     # ------------------------------------------------------------------
     async def _flusher_loop(self, entry: _SessionEntry) -> None:
-        """Drain the admission queue into the session, batch by batch."""
+        """Drain the admission queue into the session, batch by batch.
+
+        ``flusher_concurrency`` instances of this loop share one queue; the
+        session lock inside :meth:`_run_locked` keeps the actual ingest
+        serial, so extra instances buy pop/coalesce overlap, not parallel
+        session mutation.
+        """
         batch_size = entry.session.config.batch_size
+        stats = entry.session.stats
         while True:
             request = await entry.queue.get()
             batch = [request]
             while len(batch) < batch_size and not entry.queue.empty():
                 batch.append(entry.queue.get_nowait())
+            entry.active_flushes += 1
+            stats.flusher_overlap_high_water = max(
+                stats.flusher_overlap_high_water, entry.active_flushes
+            )
             ingest_started = time.perf_counter()
             try:
                 await self._run_locked(entry, self._ingest_batch, entry.session, batch)
             except asyncio.CancelledError:
+                entry.active_flushes -= 1
                 for _ in batch:
                     entry.queue.task_done()
                 raise
             except Exception as error:  # noqa: BLE001 - fail-stop the session
+                entry.active_flushes -= 1
                 entry.failure = error
                 for _ in batch:
                     entry.queue.task_done()
@@ -410,6 +445,8 @@ class AsyncMapService:
                     await entry.queue.get()
                     entry.queue.task_done()
             else:
+                entry.active_flushes -= 1
+                stats.flusher_cycles += 1
                 # Feed the shed policy's per-request cost estimate so the
                 # admission-time feasibility check tracks observed capacity.
                 entry.shed_policy.observe_batch(
@@ -730,8 +767,9 @@ class AsyncMapService:
                 # Fail-stopped while draining: nothing more can reach the
                 # map; proceed to teardown.
                 pass
-        entry.flusher.cancel()
-        await asyncio.gather(entry.flusher, return_exceptions=True)
+        for flusher in entry.flushers:
+            flusher.cancel()
+        await asyncio.gather(*entry.flushers, return_exceptions=True)
         if entry.failure is None:
             # A submitter still parked on a full queue must surface an error
             # when its put lands in the retired queue, not receive a receipt

@@ -770,6 +770,8 @@ def make_backend(
     snapshot_every_batches: int = 8,
     heartbeat_interval_s: float = 1.0,
     heartbeat_timeout_s: float = 5.0,
+    fleet=None,
+    session_id: str = "",
 ) -> ShardBackend:
     """Instantiate a shard execution backend by registry name.
 
@@ -777,7 +779,21 @@ def make_backend(
     the snapshot/heartbeat knobs) to the socket backend only -- an empty
     ``workers`` tuple makes the socket backend spawn local in-process
     workers, so tests and demos need no manual orchestration.
+
+    ``fleet`` flips the ownership model: instead of constructing a backend
+    this session owns, the session *leases* execution from the given
+    :class:`~repro.serving.fleet.BackendPool` and gets back a
+    :class:`~repro.serving.fleet.SessionBackendView` (which must match
+    ``name`` -- mixing a thread fleet into a process-backend session would
+    silently change the execution substrate).
     """
+    if fleet is not None:
+        if fleet.backend != name:
+            raise ValueError(
+                f"session wants the {name!r} backend but the shared fleet "
+                f"runs {fleet.backend!r} workers"
+            )
+        return fleet.lease(session_id, config, num_shards)
     if name == SOCKET_BACKEND_NAME:
         from repro.serving.remote import SocketBackend
 

@@ -9,26 +9,59 @@ compares it against the shard's current generation.  A write to a shard bumps
 only that shard's generation, so it invalidates exactly that shard's cached
 entries -- lazily, with no scan over the cache -- while the other shards'
 entries keep serving hits.
+
+Two refinements for read-heavy multi-tenant serving:
+
+* **Negative TTL entries** (:meth:`GenerationLRUCache.put_negative`).  Most
+  of any map is unknown space, and a planner probing ahead of the robot asks
+  about it constantly.  A strict generation stamp invalidates every unknown
+  answer the moment *anything* lands on the owning shard -- even though a
+  write almost never converts the particular distant voxel that was probed.
+  With ``negative_ttl_s > 0`` an "unknown" answer instead stays servable for
+  a bounded wall-clock window across generation bumps, trading bounded
+  staleness (an occupied voxel may read unknown for at most the TTL) for hit
+  rate.  The default TTL of ``0.0`` disables the relaxation: negative
+  entries then behave exactly like positive ones.
+
+* **Box-sweep result caching** (:class:`BboxResultCache`).  A bbox sweep is
+  thousands of point lookups; planners re-issue the same corridor boxes every
+  replan tick.  The bbox cache keys a whole
+  :class:`~repro.serving.types.BoxOccupancySummary` by the query box and
+  validates it against the *full generation vector* of the map, so it is
+  exact: any write to any shard invalidates the summary (lazily, on lookup).
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional, Tuple
 
-__all__ = ["CacheStats", "GenerationLRUCache"]
+__all__ = ["BboxResultCache", "CacheStats", "GenerationLRUCache"]
 
 
 @dataclass
 class CacheStats:
-    """Counter block of one cache instance."""
+    """Counter block of one cache instance (point and bbox sides)."""
 
     hits: int = 0
     misses: int = 0
     stale_hits: int = 0
     evictions: int = 0
     puts: int = 0
+    # --- negative (unknown-space) entries ---
+    #: lookups answered by a live negative-TTL entry (also counted in hits).
+    negative_hits: int = 0
+    #: negative entries found past their TTL and discarded (counted in misses).
+    negative_expired: int = 0
+    #: negative-TTL entries inserted (also counted in puts).
+    negative_puts: int = 0
+    # --- bbox summary cache ---
+    bbox_hits: int = 0
+    bbox_misses: int = 0
+    bbox_puts: int = 0
+    bbox_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -42,6 +75,18 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    @property
+    def bbox_lookups(self) -> int:
+        """Total bbox-summary lookups."""
+        return self.bbox_hits + self.bbox_misses
+
+    @property
+    def bbox_hit_rate(self) -> float:
+        """Fraction of bbox sweeps answered whole from the summary cache."""
+        if self.bbox_lookups == 0:
+            return 0.0
+        return self.bbox_hits / self.bbox_lookups
+
 
 class GenerationLRUCache:
     """An LRU cache whose entries expire when their shard is written.
@@ -49,15 +94,34 @@ class GenerationLRUCache:
     Args:
         capacity: maximum number of live entries; the least recently used
             entry is evicted on overflow.
+        negative_ttl_s: wall-clock lifetime of *negative* entries (inserted
+            via :meth:`put_negative`).  While live, a negative entry answers
+            across generation bumps; ``0.0`` (default) disables the
+            relaxation and makes :meth:`put_negative` behave like
+            :meth:`put`.
+        clock: monotonic time source (injectable for deterministic tests).
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        negative_ttl_s: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if negative_ttl_s < 0.0:
+            raise ValueError("negative_ttl_s must be non-negative")
         self.capacity = capacity
+        self.negative_ttl_s = negative_ttl_s
+        self.clock = clock
         self.stats = CacheStats()
-        # key -> (shard_id, generation, value); move_to_end keeps LRU order.
-        self._entries: "OrderedDict[Hashable, Tuple[int, int, object]]" = OrderedDict()
+        # key -> (shard_id, generation, value, expiry); expiry is None for
+        # positive entries and an absolute clock() deadline for negative
+        # ones.  move_to_end keeps LRU order.
+        self._entries: "OrderedDict[Hashable, Tuple[int, int, object, Optional[float]]]" = (
+            OrderedDict()
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -73,7 +137,18 @@ class GenerationLRUCache:
         if entry is None:
             self.stats.misses += 1
             return None
-        shard_id, generation, value = entry
+        shard_id, generation, value, expiry = entry
+        if expiry is not None:
+            # Negative entry: valid until its TTL deadline, across writes.
+            if self.clock() >= expiry:
+                del self._entries[key]
+                self.stats.negative_expired += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.negative_hits += 1
+            return value
         if generation != current_generation_for_shard(shard_id):
             # The owning shard was written since this entry was cached.
             del self._entries[key]
@@ -86,9 +161,28 @@ class GenerationLRUCache:
 
     def put(self, key: Hashable, shard_id: int, generation: int, value: object) -> None:
         """Insert or refresh an entry stamped with its shard's generation."""
+        self._insert(key, (shard_id, generation, value, None))
+
+    def put_negative(
+        self, key: Hashable, shard_id: int, generation: int, value: object
+    ) -> None:
+        """Insert an unknown-space answer, TTL-bounded when the TTL is set.
+
+        With ``negative_ttl_s == 0`` this is exactly :meth:`put` -- the entry
+        lives and dies by its generation stamp.
+        """
+        if self.negative_ttl_s <= 0.0:
+            self.put(key, shard_id, generation, value)
+            return
+        self._insert(key, (shard_id, generation, value, self.clock() + self.negative_ttl_s))
+        self.stats.negative_puts += 1
+
+    def _insert(
+        self, key: Hashable, entry: Tuple[int, int, object, Optional[float]]
+    ) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = (shard_id, generation, value)
+        self._entries[key] = entry
         self.stats.puts += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -96,11 +190,74 @@ class GenerationLRUCache:
 
     def live_entries(self, current_generation_for_shard) -> int:
         """Number of entries that would still hit (without touching LRU order)."""
-        return sum(
-            1
-            for shard_id, generation, _ in self._entries.values()
-            if generation == current_generation_for_shard(shard_id)
+        now = self.clock()
+        live = 0
+        for shard_id, generation, _, expiry in self._entries.values():
+            if expiry is not None:
+                live += 1 if now < expiry else 0
+            elif generation == current_generation_for_shard(shard_id):
+                live += 1
+        return live
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+
+class BboxResultCache:
+    """LRU cache of whole box-sweep summaries, validated by generation vector.
+
+    Each entry stores the generation of *every* shard at fill time; a lookup
+    hits only when the current vector matches exactly, so a cached summary
+    can never reflect a map state other than the present one.  The cache is
+    tiny (summaries, not voxels) and shares its counter block with the point
+    cache when constructed with one.
+
+    Args:
+        capacity: maximum cached summaries; ``0`` disables the cache (every
+            lookup misses, puts are dropped).
+        stats: counter block to record into (a fresh one when omitted).
+    """
+
+    def __init__(self, capacity: int = 64, stats: Optional[CacheStats] = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else CacheStats()
+        # key -> (generation vector, summary)
+        self._entries: "OrderedDict[Hashable, Tuple[Tuple[int, ...], object]]" = (
+            OrderedDict()
         )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, generations: Tuple[int, ...]) -> Optional[object]:
+        """The cached summary for this box at exactly these generations."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.bbox_misses += 1
+            return None
+        cached_generations, summary = entry
+        if cached_generations != tuple(generations):
+            del self._entries[key]
+            self.stats.bbox_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.bbox_hits += 1
+        return summary
+
+    def put(self, key: Hashable, generations: Tuple[int, ...], summary: object) -> None:
+        """Cache one sweep's summary stamped with the full generation vector."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (tuple(generations), summary)
+        self.stats.bbox_puts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.bbox_evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -128,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--shards", type=int, default=2, help="shard workers per session (default 2)")
     parser.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=0,
+        help=(
+            "size of the shared backend fleet: sessions lease execution "
+            "slots from one pool of this many workers instead of each "
+            "owning num-shards workers (0 = classic per-session ownership)"
+        ),
+    )
+    parser.add_argument(
+        "--flusher-concurrency",
+        type=int,
+        default=1,
+        help=(
+            "async mode: background flusher tasks per session; K > 1 "
+            "overlaps up to K flush cycles of one session (default 1)"
+        ),
+    )
+    parser.add_argument(
         "--prefix-levels",
         type=int,
         default=12,
@@ -269,6 +288,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             snapshot_every_batches=args.snapshot_every,
             heartbeat_interval_s=args.heartbeat_interval,
             heartbeat_timeout_s=args.heartbeat_timeout,
+            fleet_workers=args.fleet_workers,
+            flusher_concurrency=args.flusher_concurrency,
         ).with_resolution(args.resolution)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

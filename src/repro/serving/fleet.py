@@ -1,0 +1,627 @@
+"""Shared backend fleet: sessions lease shard execution instead of owning it.
+
+Before this module a :class:`~repro.serving.session.MapSession` *owned* its
+:class:`~repro.serving.backends.ShardBackend`, so N sessions with M shards
+each meant N x M threads / processes / sockets -- fine for a handful of
+sessions, fatal for hundreds.  The fleet inverts the ownership the same way
+the paper's OMU accelerator time-shares a fixed set of processing banks
+across incoming scan streams: a :class:`BackendPool` owns one fixed set of
+execution slots sized by ``fleet_workers``, and every session gets a
+lightweight :class:`SessionBackendView` *lease* that multiplexes its shards
+onto those slots.
+
+The trick that keeps every existing layer working unchanged is **global
+shard ids**: the pool assigns each leased ``(session, shard)`` pair a unique
+integer ``gid`` and creates the hosted :class:`~repro.serving.sharding.
+MapShardWorker` under that identity.  The view translates its session-local
+shard ids to gids on the way out and back on the way in, so the fleet's
+substrate speaks the exact same pickle-safe ``Shard*`` vocabulary as the
+per-session backends -- one worker process (or socket worker) simply hosts a
+dict of gid-keyed shard workers from many sessions instead of one session's
+single shard.  Generation bookkeeping stays keyed by ``(session, shard)``:
+each view owns its parent-side generation stamps (inherited from
+:class:`~repro.serving.backends.ShardBackend`), and the hosted workers --
+created per lease -- never share map state between sessions.
+
+:class:`SessionBackendView` is a real :class:`ShardBackend` subclass, so the
+whole contract rides along for free: the ``apply_async``/``drain`` ticket
+API with the one-in-flight invariant, read-side barriers, fail-stop on apply
+failure, ``shard_load``/``failover_stats`` accounting, and idempotent
+``close`` -- except that closing a view releases only its lease; the fleet
+keeps serving every other session.  A fleet worker that dies fail-stops the
+sessions leasing slots on it (detected by the per-flush health check), while
+sessions on surviving slots keep going.
+
+Resource bound: a fleet of W workers serves any number of sessions with
+O(W) OS threads/processes/sockets -- one dispatch thread pool of W threads
+plus, per kind, W worker processes (``process``) or W TCP connections to W
+worker servers (``socket``).  The ``inline`` fleet has no concurrency at
+all and exists as the equivalence reference.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import OMUConfig
+from repro.serving.backends import (
+    BACKEND_NAMES,
+    SOCKET_BACKEND_NAME,
+    ShardBackend,
+    ShardBackendError,
+)
+from repro.serving.sharding import MapShardWorker
+from repro.serving.types import (
+    ShardApplyResult,
+    ShardExportResult,
+    ShardQueryRequest,
+    ShardQueryResult,
+    ShardUpdateBatch,
+)
+
+__all__ = ["BackendPool", "SessionBackendView"]
+
+
+# ---------------------------------------------------------------------------
+# Fleet engines: the shared execution substrate behind every lease
+# ---------------------------------------------------------------------------
+class _InlineFleetEngine:
+    """Serial reference engine: gid-keyed workers applied in the caller."""
+
+    kind = "inline"
+
+    def __init__(self, num_slots: int) -> None:
+        self.num_slots = num_slots
+        self._workers: Dict[int, MapShardWorker] = {}
+
+    def attach(self, gid: int, config: OMUConfig) -> None:
+        self._workers[gid] = MapShardWorker(gid, config)
+
+    def detach(self, gid: int) -> None:
+        self._workers.pop(gid, None)
+
+    def slot_of(self, gid: int) -> int:
+        return 0
+
+    def apply(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        # Eager apply, exactly like InlineBackend: pipelining degenerates to
+        # the serial reference semantics.
+        return [self._workers[batch.shard_id].apply_message(batch) for batch in batches]
+
+    def collect(self, handle: object) -> List[ShardApplyResult]:
+        return handle
+
+    def query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        return self._workers[request.shard_id].query_message(request)
+
+    def export(self, gid: int) -> ShardExportResult:
+        return self._workers[gid].export_message()
+
+    def check(self, gids: Sequence[int]) -> None:  # in-process: nothing can die
+        pass
+
+    def local_workers(self, gids: Sequence[int]) -> List[MapShardWorker]:
+        return [self._workers[gid] for gid in gids]
+
+    @property
+    def attached_shards(self) -> int:
+        return len(self._workers)
+
+    def close(self) -> None:
+        self._workers.clear()
+
+
+class _ThreadFleetEngine(_InlineFleetEngine):
+    """One shared thread pool of ``num_slots`` threads for every session.
+
+    Unlike :class:`~repro.serving.backends.ThreadPoolBackend` (one pool of
+    ``num_shards`` threads *per session*), the fleet pool is sized once and
+    time-shares: concurrent flushes from many sessions queue onto the same W
+    threads.  No per-worker locking is needed -- each gid belongs to exactly
+    one session and that session's one-in-flight invariant means a worker
+    never sees two concurrent applies.
+    """
+
+    kind = "thread"
+
+    def __init__(self, num_slots: int) -> None:
+        super().__init__(num_slots)
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_slots, thread_name_prefix="fleet"
+        )
+
+    def apply(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        return [
+            self._executor.submit(self._workers[batch.shard_id].apply_message, batch)
+            for batch in batches
+        ]
+
+    def collect(self, handle: object) -> List[ShardApplyResult]:
+        return [future.result() for future in handle]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+        super().close()
+
+
+def _fleet_worker_main(connection) -> None:
+    """Entry point of one fleet worker process.
+
+    Unlike :func:`~repro.serving.backends._shard_worker_main` (one process =
+    one shard of one session), a fleet worker hosts a *dict* of gid-keyed
+    shard workers from many sessions, attached and detached over its
+    lifetime as sessions come and go.  Same reply convention: ``("ok",
+    payload)`` or ``("error", (message, traceback))``; exceptions are
+    reported, not fatal.
+    """
+    workers: Dict[int, MapShardWorker] = {}
+    while True:
+        try:
+            verb, payload = connection.recv()
+        except (EOFError, OSError):  # parent died: nothing left to serve
+            break
+        if verb == "stop":
+            connection.send(("ok", None))
+            break
+        try:
+            if verb == "attach":
+                gid, config = payload
+                workers[gid] = MapShardWorker(gid, config)
+                reply = gid
+            elif verb == "detach":
+                workers.pop(payload, None)
+                reply = payload
+            elif verb == "apply":
+                reply = workers[payload.shard_id].apply_message(payload)
+            elif verb == "query":
+                reply = workers[payload.shard_id].query_message(payload)
+            elif verb == "export":
+                reply = workers[payload].export_message()
+            elif verb == "ping":
+                reply = len(workers)
+            else:
+                raise ValueError(f"unknown fleet command {verb!r}")
+            connection.send(("ok", reply))
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            connection.send(
+                ("error", (f"{type(error).__name__}: {error}", traceback.format_exc()))
+            )
+    connection.close()
+
+
+class _ProcessFleetEngine:
+    """W worker processes, each hosting gid-keyed shards from many sessions.
+
+    The parent keeps one duplex pipe per slot, guarded by a slot lock:
+    flushes from different sessions landing on the same slot serialise their
+    pipe round-trips (the fleet's time-sharing), while flushes on different
+    slots proceed concurrently through a W-thread dispatch pool.  A slot
+    lock covers one whole send-all/recv-all exchange, so concurrent sessions
+    can never desynchronise a pipe's request/reply stream.
+    """
+
+    kind = "process"
+
+    def __init__(self, num_slots: int, start_method: Optional[str] = None) -> None:
+        import multiprocessing
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self.num_slots = num_slots
+        self.start_method = start_method
+        self._connections = []
+        self.processes = []
+        self._locks = [threading.Lock() for _ in range(num_slots)]
+        self._slot_of: Dict[int, int] = {}
+        self._slot_load = [0] * num_slots
+        self._io = ThreadPoolExecutor(max_workers=num_slots, thread_name_prefix="fleet-io")
+        try:
+            for slot in range(num_slots):
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_fleet_worker_main,
+                    args=(child_end,),
+                    name=f"fleet-{slot}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()  # the child keeps its own handle
+                self._connections.append(parent_end)
+                self.processes.append(process)
+        except Exception:
+            self.close()
+            raise
+
+    # -- pipe plumbing --------------------------------------------------
+    def _worker_id(self, slot: int) -> str:
+        return f"fleet-process:{self.processes[slot].pid}"
+
+    def _worker_lost(self, slot: int, error: Exception) -> ShardBackendError:
+        process = self.processes[slot]
+        process.join(timeout=1.0)
+        return ShardBackendError(
+            f"fleet slot {slot} worker process died "
+            f"(exit code {process.exitcode}): {error}",
+            worker_id=self._worker_id(slot),
+        )
+
+    def _send(self, slot: int, verb: str, payload) -> None:
+        try:
+            self._connections[slot].send((verb, payload))
+        except (BrokenPipeError, OSError) as error:
+            raise self._worker_lost(slot, error) from error
+
+    def _recv(self, slot: int):
+        try:
+            status, payload = self._connections[slot].recv()
+        except (EOFError, OSError) as error:
+            raise self._worker_lost(slot, error) from error
+        if status != "ok":
+            message, remote_traceback = payload
+            raise ShardBackendError(
+                f"fleet slot {slot} worker failed: {message}",
+                worker_id=self._worker_id(slot),
+                remote_traceback=remote_traceback,
+            )
+        return payload
+
+    def _roundtrip(self, slot: int, verb: str, payload):
+        with self._locks[slot]:
+            self._send(slot, verb, payload)
+            return self._recv(slot)
+
+    # -- engine API -----------------------------------------------------
+    def attach(self, gid: int, config: OMUConfig) -> None:
+        slot = min(range(self.num_slots), key=lambda s: self._slot_load[s])
+        self._slot_of[gid] = slot
+        self._slot_load[slot] += 1
+        self._roundtrip(slot, "attach", (gid, config))
+
+    def detach(self, gid: int) -> None:
+        slot = self._slot_of.pop(gid, None)
+        if slot is None:
+            return
+        self._slot_load[slot] -= 1
+        try:
+            self._roundtrip(slot, "detach", gid)
+        except ShardBackendError:
+            pass  # a dead slot has no state left to detach
+
+    def slot_of(self, gid: int) -> int:
+        return self._slot_of[gid]
+
+    def apply(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        by_slot: Dict[int, List[ShardUpdateBatch]] = defaultdict(list)
+        for batch in batches:
+            by_slot[self._slot_of[batch.shard_id]].append(batch)
+        # One dispatch task per slot: slots fan out concurrently, batches on
+        # the same slot share one locked send-all/recv-all exchange.
+        return [
+            (group, self._io.submit(self._apply_slot, slot, group))
+            for slot, group in sorted(by_slot.items())
+        ]
+
+    def _apply_slot(self, slot: int, group: List[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        with self._locks[slot]:
+            for batch in group:
+                self._send(slot, "apply", batch)
+            # Drain every ack even when one reports an error: an unread
+            # reply would desynchronise the slot's pipe for all sessions.
+            results: List[ShardApplyResult] = []
+            first_error: Optional[ShardBackendError] = None
+            for _ in group:
+                try:
+                    results.append(self._recv(slot))
+                except ShardBackendError as error:
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+            return results
+
+    def collect(self, handle: object) -> List[ShardApplyResult]:
+        by_gid: Dict[int, ShardApplyResult] = {}
+        first_error: Optional[ShardBackendError] = None
+        for group, future in handle:
+            try:
+                for result in future.result():
+                    by_gid[result.shard_id] = result
+            except ShardBackendError as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return list(by_gid.values())
+
+    def query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        return self._roundtrip(self._slot_of[request.shard_id], "query", request)
+
+    def export(self, gid: int) -> ShardExportResult:
+        return self._roundtrip(self._slot_of[gid], "export", gid)
+
+    def check(self, gids: Sequence[int]) -> None:
+        for slot in {self._slot_of[gid] for gid in gids}:
+            if not self.processes[slot].is_alive():
+                raise ShardBackendError(
+                    f"fleet slot {slot} worker process died "
+                    f"(exit code {self.processes[slot].exitcode})",
+                    worker_id=self._worker_id(slot),
+                )
+
+    def local_workers(self, gids: Sequence[int]) -> List[MapShardWorker]:
+        raise AttributeError(
+            "fleet process workers are not in-process; use the Shard* message API"
+        )
+
+    @property
+    def attached_shards(self) -> int:
+        return len(self._slot_of)
+
+    def close(self) -> None:
+        for slot, connection in enumerate(self._connections):
+            try:
+                with self._locks[slot]:
+                    connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=2.0)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._io.shutdown(wait=True)
+
+
+def _make_engine(
+    backend: str,
+    fleet_workers: int,
+    start_method: Optional[str],
+    endpoints: Sequence[str],
+    heartbeat_interval_s: float,
+):
+    if backend == "inline":
+        return _InlineFleetEngine(fleet_workers)
+    if backend == "thread":
+        return _ThreadFleetEngine(fleet_workers)
+    if backend == "process":
+        return _ProcessFleetEngine(fleet_workers, start_method=start_method)
+    if backend == SOCKET_BACKEND_NAME:
+        # Lazy import mirrors make_backend: the remote stack only loads when
+        # a socket fleet is actually requested.
+        from repro.serving.remote.backend import SocketFleetEngine
+
+        return SocketFleetEngine(
+            fleet_workers,
+            endpoints=endpoints,
+            heartbeat_interval_s=heartbeat_interval_s,
+        )
+    raise ValueError(
+        f"unknown shard backend {backend!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The pool and its leases
+# ---------------------------------------------------------------------------
+class BackendPool:
+    """A fixed fleet of execution slots shared by any number of sessions.
+
+    Args:
+        backend: execution kind (``inline`` / ``thread`` / ``process`` /
+            ``socket``), same registry names as per-session backends.
+        fleet_workers: number of fleet slots W.  This is the *total* OS
+            resource bound: W pool threads, or W worker processes, or W
+            socket worker connections -- independent of how many sessions
+            lease onto the fleet.
+        start_method: multiprocessing start method (process fleet only).
+        endpoints: external ``host:port`` worker endpoints (socket fleet
+            only); empty spawns W local in-process workers.
+        heartbeat_interval_s: minimum quiet time between liveness pings on a
+            socket fleet slot.
+    """
+
+    def __init__(
+        self,
+        backend: str = "thread",
+        fleet_workers: int = 2,
+        *,
+        start_method: Optional[str] = None,
+        endpoints: Sequence[str] = (),
+        heartbeat_interval_s: float = 1.0,
+    ) -> None:
+        if fleet_workers < 1:
+            raise ValueError("fleet_workers must be at least 1")
+        if endpoints and backend != SOCKET_BACKEND_NAME:
+            raise ValueError("worker endpoints only apply to the socket fleet")
+        self.backend = backend
+        self.fleet_workers = fleet_workers
+        self.closed = False
+        self._engine = _make_engine(
+            backend, fleet_workers, start_method, endpoints, heartbeat_interval_s
+        )
+        self._lock = threading.Lock()
+        self._next_gid = 0
+        self._leases: Dict[int, "SessionBackendView"] = {}
+        self._next_lease_id = 0
+
+    # -- leasing --------------------------------------------------------
+    def lease(
+        self, session_id: str, config: OMUConfig, num_shards: int
+    ) -> "SessionBackendView":
+        """Attach ``num_shards`` fresh shards for one session; return its view.
+
+        Each call allocates fresh gids, so a session id may be reused (churn)
+        while an earlier lease under the same id is still draining -- the
+        hosted workers never collide.
+        """
+        with self._lock:
+            if self.closed:
+                raise ShardBackendError("backend pool is closed")
+            lease_id = self._next_lease_id
+            self._next_lease_id += 1
+            gids = tuple(range(self._next_gid, self._next_gid + num_shards))
+            self._next_gid += num_shards
+            attached = []
+            try:
+                for gid in gids:
+                    self._engine.attach(gid, config)
+                    attached.append(gid)
+            except Exception:
+                for gid in attached:
+                    try:
+                        self._engine.detach(gid)
+                    except Exception:  # pragma: no cover - engine already down
+                        pass
+                raise
+            view = SessionBackendView(self, lease_id, session_id, config, num_shards, gids)
+            self._leases[lease_id] = view
+            return view
+
+    def _release(self, view: "SessionBackendView") -> None:
+        with self._lock:
+            if self._leases.pop(view.lease_id, None) is None:
+                return
+            if self.closed:
+                return  # the engine (and all hosted state) is already gone
+            for gid in view.gids:
+                try:
+                    self._engine.detach(gid)
+                except Exception:  # pragma: no cover - dead slot, nothing to free
+                    pass
+
+    # -- observability --------------------------------------------------
+    @property
+    def active_leases(self) -> int:
+        """Sessions currently holding a lease on this fleet."""
+        with self._lock:
+            return len(self._leases)
+
+    @property
+    def attached_shards(self) -> int:
+        """Shard workers currently hosted across the whole fleet."""
+        return self._engine.attached_shards
+
+    @property
+    def num_slots(self) -> int:
+        """The fixed slot count W (never changes over the pool's life)."""
+        return self.fleet_workers
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the fleet down.  Idempotent.
+
+        Outstanding leases are not closed here -- their sessions own that --
+        but any later use of one raises, and their eventual ``close()``
+        degrades to pure bookkeeping.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            engine, self._engine = self._engine, _ClosedEngine(self.backend)
+        engine.close()
+
+    def __enter__(self) -> "BackendPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _ClosedEngine:
+    """Stand-in engine after pool close: every operation raises."""
+
+    def __init__(self, backend: str) -> None:
+        self.kind = backend
+        self.attached_shards = 0
+
+    def __getattr__(self, name: str):
+        def _raise(*args, **kwargs):
+            raise ShardBackendError("backend pool is closed")
+
+        return _raise
+
+
+class SessionBackendView(ShardBackend):
+    """One session's lease on a :class:`BackendPool`.
+
+    A full :class:`~repro.serving.backends.ShardBackend`: the ingestion
+    pipeline, query engine and stats layers cannot tell it from an owned
+    backend.  The only behavioural difference is scoping -- ``close()``
+    releases this session's hosted shards and leaves the fleet running, and
+    a fleet worker failure fail-stops only the sessions leasing slots on it.
+
+    All translation between session-local shard ids (``0..num_shards-1``)
+    and fleet-global gids happens here, at the hook boundary, so the base
+    class's ticket/generation/accounting machinery operates purely in local
+    ids while the engine operates purely in gids.
+    """
+
+    def __init__(
+        self,
+        pool: BackendPool,
+        lease_id: int,
+        session_id: str,
+        config: OMUConfig,
+        num_shards: int,
+        gids: Tuple[int, ...],
+    ) -> None:
+        super().__init__(config, num_shards)
+        self.name = f"{pool.backend}+fleet"
+        self.pool = pool
+        self.lease_id = lease_id
+        self.session_id = session_id
+        self.gids = gids
+        self._local_of = {gid: local for local, gid in enumerate(gids)}
+
+    def slot_of(self, shard_id: int) -> int:
+        """Fleet slot currently hosting one of this session's shards."""
+        return self.pool._engine.slot_of(self.gids[shard_id])
+
+    # -- hook implementations (gid translation at the boundary) ---------
+    def _apply_begin(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        translated = [
+            replace(batch, shard_id=self.gids[batch.shard_id]) for batch in batches
+        ]
+        return self.pool._engine.apply(translated)
+
+    def _apply_collect(self, handle: object) -> List[ShardApplyResult]:
+        return [
+            replace(result, shard_id=self._local_of[result.shard_id])
+            for result in self.pool._engine.collect(handle)
+        ]
+
+    def _query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        result = self.pool._engine.query(
+            replace(request, shard_id=self.gids[request.shard_id])
+        )
+        return replace(result, shard_id=self._local_of[result.shard_id])
+
+    def _export(self) -> List[ShardExportResult]:
+        return [
+            replace(self.pool._engine.export(gid), shard_id=self._local_of[gid])
+            for gid in self.gids
+        ]
+
+    def _health_check(self) -> None:
+        self.pool._engine.check(self.gids)
+
+    def _close(self) -> None:
+        self.pool._release(self)
+
+    @property
+    def workers(self) -> List[MapShardWorker]:
+        """This session's hosted workers, local order (in-process fleets only)."""
+        return self.pool._engine.local_workers(self.gids)

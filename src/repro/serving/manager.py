@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.serving.fleet import BackendPool
 from repro.serving.metrics import MetricsStore
 from repro.serving.session import MapSession, SessionConfig
 from repro.serving.stats import ServiceStats
@@ -22,7 +23,16 @@ __all__ = ["MapSessionManager"]
 
 
 class MapSessionManager:
-    """Owns the map sessions of one service instance."""
+    """Owns the map sessions of one service instance.
+
+    Fleet lifecycle: when a session's config sets ``fleet_workers > 0``, the
+    manager lazily stands up one shared :class:`~repro.serving.fleet.
+    BackendPool` per ``(backend, fleet_workers)`` combination and every such
+    session leases execution from it instead of owning workers.  The fleets
+    live for the manager's whole life -- session churn attaches and releases
+    leases without spawning or reaping a single OS resource -- and
+    :meth:`shutdown` closes them after the last session released its lease.
+    """
 
     def __init__(
         self,
@@ -35,21 +45,46 @@ class MapSessionManager:
         #: end, and the HTTP middleware all record into this one store.
         self.metrics = metrics if metrics is not None else MetricsStore()
         self._sessions: Dict[str, MapSession] = {}
+        self._fleets: Dict[Tuple[str, int], BackendPool] = {}
         self._next_request_id = 0
 
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
+    def _fleet_for(self, config: SessionConfig) -> Optional[BackendPool]:
+        """The shared fleet this config leases from (created on first use)."""
+        if config.fleet_workers < 1:
+            return None
+        key = (config.backend, config.fleet_workers)
+        fleet = self._fleets.get(key)
+        if fleet is None:
+            fleet = BackendPool(
+                config.backend,
+                config.fleet_workers,
+                start_method=config.mp_start_method,
+                endpoints=config.workers,
+                heartbeat_interval_s=config.heartbeat_interval_s,
+            )
+            self._fleets[key] = fleet
+        return fleet
+
+    @property
+    def fleets(self) -> Tuple[BackendPool, ...]:
+        """The shared backend fleets this manager stood up (observability)."""
+        return tuple(self._fleets.values())
+
     def create_session(
         self, session_id: str, config: Optional[SessionConfig] = None
     ) -> MapSession:
         """Create a named session; raises if the name is taken."""
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} already exists")
+        resolved = config if config is not None else self.default_config
         session = MapSession(
             session_id,
-            config if config is not None else self.default_config,
+            resolved,
             metrics=self.metrics,
+            backend_pool=self._fleet_for(resolved),
         )
         self._sessions[session_id] = session
         self.service_stats.register(session.stats)
@@ -107,9 +142,17 @@ class MapSessionManager:
         Sessions stay registered and queryable-in-principle is *not*
         guaranteed afterwards; this is the service's end-of-life hook (and
         what the context-manager exit calls).  Idempotent.
+
+        Sessions close first (each releasing its fleet lease, if any), then
+        the shared fleets themselves are torn down.
         """
         for session in self._sessions.values():
             session.close()
+        for fleet in self._fleets.values():
+            fleet.close()
+        # Drop the closed pools: a later create_session builds a fresh fleet
+        # instead of leasing on a dead one.
+        self._fleets.clear()
 
     def __enter__(self) -> "MapSessionManager":
         return self

@@ -18,7 +18,7 @@ from repro.octomap.keys import OcTreeKey
 from repro.octomap.raycast import compute_ray_keys
 from repro.octomap.scan_insertion import clip_segment_to_volume
 from repro.serving.backends import ShardBackend
-from repro.serving.cache import GenerationLRUCache
+from repro.serving.cache import BboxResultCache, GenerationLRUCache
 from repro.serving.sharding import ShardRouter
 from repro.serving.stats import SessionStats
 from repro.serving.types import (
@@ -42,6 +42,7 @@ class QueryEngine:
         cache: GenerationLRUCache,
         stats: SessionStats,
         max_box_voxels: int = 200_000,
+        bbox_cache_capacity: int = 64,
     ) -> None:
         if backend.num_shards != router.num_shards:
             raise ValueError(
@@ -53,6 +54,10 @@ class QueryEngine:
         self.cache = cache
         self.stats = stats
         self.max_box_voxels = max_box_voxels
+        #: whole-sweep summaries validated by the full generation vector;
+        #: shares the point cache's counter block so one stats surface shows
+        #: both hit rates.
+        self.bbox_cache = BboxResultCache(bbox_cache_capacity, stats=cache.stats)
 
     # ------------------------------------------------------------------
     # Generations (cache validity)
@@ -94,9 +99,16 @@ class QueryEngine:
             ShardQueryRequest(shard_id=shard_id, key=cache_key)
         )
         self.stats.modelled_query_cycles += result.cycles
-        self.cache.put(
-            cache_key, shard_id, result.generation, (result.status, result.probability)
-        )
+        if result.status == "unknown":
+            # Unknown space: eligible for TTL-bounded negative caching (a
+            # no-op falling back to the generation stamp when the TTL is 0).
+            self.cache.put_negative(
+                cache_key, shard_id, result.generation, (result.status, result.probability)
+            )
+        else:
+            self.cache.put(
+                cache_key, shard_id, result.generation, (result.status, result.probability)
+            )
         return QueryResponse(
             status=result.status,
             probability=result.probability,
@@ -228,11 +240,26 @@ class QueryEngine:
     ) -> BoxOccupancySummary:
         """Classify every voxel whose centre lies inside an axis-aligned box.
 
+        Repeated sweeps of an unchanged map are answered whole from the
+        bbox summary cache: the summary is stamped with every shard's write
+        generation at fill time and only served back while the full vector
+        still matches, so a cached answer is always exact.
+
         Raises:
             ValueError: when the box covers more than ``max_box_voxels``
                 voxels (guardrail against accidental whole-map sweeps) or is
                 inverted.
         """
+        box_key = (tuple(float(c) for c in minimum), tuple(float(c) for c in maximum))
+        # generation_of barriers in-flight work per shard, so the vector (and
+        # any summary stamped with it) reflects everything dispatched so far.
+        generations = tuple(
+            self.generation_of(shard_id) for shard_id in range(self.backend.num_shards)
+        )
+        cached = self.bbox_cache.get(box_key, generations)
+        if cached is not None:
+            self.stats.bbox_queries += 1
+            return cached
         occupied = free = unknown = scanned = cache_hits = 0
         for chunk in self.iter_bbox(
             minimum, maximum, chunk_voxels=self.max_box_voxels, include_voxels=False
@@ -242,13 +269,15 @@ class QueryEngine:
             unknown += chunk.unknown
             cache_hits += chunk.cache_hits
             scanned = chunk.voxels_total
-        return BoxOccupancySummary(
+        summary = BoxOccupancySummary(
             occupied=occupied,
             free=free,
             unknown=unknown,
             voxels_scanned=scanned,
             cache_hits=cache_hits,
         )
+        self.bbox_cache.put(box_key, generations, summary)
+        return summary
 
     # ------------------------------------------------------------------
     # Collision raycasts

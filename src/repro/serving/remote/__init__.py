@@ -19,7 +19,7 @@ single-process affair into a small distributed system:
   shard re-homing instead of fail-stop.
 """
 
-from repro.serving.remote.backend import SocketBackend
+from repro.serving.remote.backend import SocketBackend, SocketFleetEngine
 from repro.serving.remote.failover import RecoveryReport, ReplayLog
 from repro.serving.remote.registry import (
     NoLiveWorkerError,
@@ -42,6 +42,7 @@ from repro.serving.remote.worker import (
 
 __all__ = [
     "SocketBackend",
+    "SocketFleetEngine",
     "RecoveryReport",
     "ReplayLog",
     "NoLiveWorkerError",

@@ -34,7 +34,10 @@ to the classic fail-stop :class:`~repro.serving.backends.ShardBackendError`.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import OMUConfig
@@ -56,7 +59,7 @@ from repro.serving.types import (
     ShardUpdateBatch,
 )
 
-__all__ = ["SocketBackend"]
+__all__ = ["SocketBackend", "SocketFleetEngine"]
 
 #: Signature of the test-only transport interposer: ``(transport, shard_id,
 #: endpoint) -> transport-like``.  The fault-injection harness wraps every
@@ -460,3 +463,294 @@ class SocketBackend(ShardBackend):
             "heartbeat_probes": self.heartbeat_probes,
             "heartbeat_failures": self.heartbeat_failures,
         }
+
+
+# ---------------------------------------------------------------------------
+# Socket fleet: W worker endpoints hosting shards from many sessions
+# ---------------------------------------------------------------------------
+class SocketFleetEngine:
+    """Execution engine of a socket :class:`~repro.serving.fleet.BackendPool`.
+
+    Where :class:`SocketBackend` dedicates one TCP worker per shard of one
+    session, the fleet engine keeps W connections to W
+    :class:`~repro.serving.remote.worker.ShardWorkerServer` endpoints and
+    multiplexes *every* leased session's shards onto them.  The worker
+    protocol is completely unchanged -- the pool's fleet-global gids ride the
+    existing ``attach``/``apply``/``query``/``export``/``detach`` verbs, so
+    one unmodified worker server hosts gid-keyed shards from many sessions
+    side by side.  Generation bookkeeping stays keyed by ``(session, shard)``
+    in each :class:`~repro.serving.fleet.SessionBackendView`.
+
+    Failure model: detect-and-refresh, not detect-and-recover.  A dead fleet
+    member loses the (session, shard) state it hosted -- those sessions
+    fail-stop with a structured error (a per-slot *epoch* stamp detects
+    leases that outlived their slot's worker) -- but the slot itself re-homes
+    onto a surviving or standby endpoint through the shared
+    :class:`~repro.serving.remote.registry.WorkerRegistry`, so the fleet
+    keeps admitting *new* leases at full width.  Sessions that need per-shard
+    snapshot/replay recovery should keep using :class:`SocketBackend`
+    directly; the fleet trades that machinery for O(W) sockets across
+    hundreds of tenants.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        num_slots: int,
+        endpoints: Sequence[str] = (),
+        heartbeat_interval_s: float = 1.0,
+        heartbeat_timeout_s: float = 5.0,
+        io_timeout_s: float = 60.0,
+        connect_timeout_s: float = 5.0,
+    ) -> None:
+        self.num_slots = num_slots
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.io_timeout_s = io_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_probes = 0
+        self.heartbeat_failures = 0
+
+        self.owned_workers: List[LocalWorkerHandle] = []
+        if not endpoints:
+            self.owned_workers = [spawn_local_worker() for _ in range(num_slots)]
+            endpoints = [handle.endpoint for handle in self.owned_workers]
+        self.registry = WorkerRegistry(
+            [WorkerEndpoint.parse(endpoint) for endpoint in endpoints], num_slots
+        )
+
+        self._transports: List[Optional[Transport]] = [None] * num_slots
+        self._locks = [threading.Lock() for _ in range(num_slots)]
+        self._io = ThreadPoolExecutor(max_workers=num_slots, thread_name_prefix="fleet-io")
+        self._slot_of: Dict[int, int] = {}
+        self._slot_load = [0] * num_slots
+        self._last_contact = [float("-inf")] * num_slots
+        #: bumped every time a slot's worker is replaced; a gid attached
+        #: under an older epoch has lost its hosted state.
+        self._slot_epoch = [0] * num_slots
+        self._gid_epoch: Dict[int, int] = {}
+        try:
+            for slot in range(num_slots):
+                self._connect_slot(slot)
+        except Exception:
+            self.close()
+            raise
+
+    # -- connection plumbing --------------------------------------------
+    def _connect_slot(self, slot: int) -> None:
+        endpoint = self.registry.endpoint_for(slot)
+        self._transports[slot] = Transport.connect(
+            endpoint.host,
+            endpoint.port,
+            connect_timeout_s=self.connect_timeout_s,
+            timeout_s=self.io_timeout_s,
+        )
+        self._last_contact[slot] = time.perf_counter()
+
+    def _worker_id(self, slot: int) -> str:
+        return str(self.registry.endpoint_for(slot))
+
+    def _slot_lost(self, slot: int, error: Exception) -> ShardBackendError:
+        """Declare a slot's worker dead and re-home the slot for new leases.
+
+        The hosted (session, shard) state is gone: bumping the slot epoch
+        makes every lease that was multiplexed here fail-stop with a clear
+        message, while the slot itself reconnects to a standby or survivor
+        (registry reassignment) so *new* leases keep the fleet at width W.
+        """
+        dead = self.registry.endpoint_for(slot)
+        self.registry.mark_dead(dead)
+        transport = self._transports[slot]
+        if transport is not None:
+            transport.close()
+            self._transports[slot] = None
+        self._slot_epoch[slot] += 1
+        try:
+            self.registry.reassign(slot)
+            self._connect_slot(slot)
+        except (NoLiveWorkerError, TransportError):
+            pass  # the fleet is degraded; new attaches on this slot will fail
+        return ShardBackendError(
+            f"fleet slot {slot} worker {dead} died; the session shards it "
+            f"hosted are lost: {error}",
+            worker_id=str(dead),
+        )
+
+    def _receive(self, slot: int):
+        status, payload = self._transports[slot].recv()
+        self._last_contact[slot] = time.perf_counter()
+        if status != "ok":
+            raise ShardBackendError(
+                f"fleet slot {slot} worker failed: {payload['message']}",
+                worker_id=self._worker_id(slot),
+                remote_traceback=payload.get("traceback"),
+            )
+        return payload
+
+    def _roundtrip(self, slot: int, verb: str, payload):
+        with self._locks[slot]:
+            if self._transports[slot] is None:
+                raise ShardBackendError(
+                    f"fleet slot {slot} has no live worker",
+                    worker_id=self._worker_id(slot),
+                )
+            try:
+                self._transports[slot].send((verb, payload))
+                return self._receive(slot)
+            except TransportError as error:
+                raise self._slot_lost(slot, error) from error
+
+    # -- engine API -----------------------------------------------------
+    def attach(self, gid: int, config) -> None:
+        slot = min(range(self.num_slots), key=lambda s: self._slot_load[s])
+        self._roundtrip(slot, "attach", (gid, config))
+        self._slot_of[gid] = slot
+        self._slot_load[slot] += 1
+        self._gid_epoch[gid] = self._slot_epoch[slot]
+
+    def detach(self, gid: int) -> None:
+        slot = self._slot_of.pop(gid, None)
+        if slot is None:
+            return
+        self._slot_load[slot] -= 1
+        epoch = self._gid_epoch.pop(gid, None)
+        if epoch != self._slot_epoch[slot]:
+            return  # the worker that hosted this gid is gone; nothing to free
+        try:
+            self._roundtrip(slot, "detach", gid)
+        except ShardBackendError:
+            pass
+
+    def slot_of(self, gid: int) -> int:
+        return self._slot_of[gid]
+
+    def _check_epochs(self, gids: Sequence[int]) -> None:
+        for gid in gids:
+            slot = self._slot_of[gid]
+            if self._gid_epoch[gid] != self._slot_epoch[slot]:
+                raise ShardBackendError(
+                    f"fleet slot {slot} worker died and took this session's "
+                    "hosted shards with it",
+                    worker_id=self._worker_id(slot),
+                )
+
+    def apply(self, batches: Sequence[ShardUpdateBatch]) -> object:
+        self._check_epochs([batch.shard_id for batch in batches])
+        by_slot: Dict[int, List[ShardUpdateBatch]] = defaultdict(list)
+        for batch in batches:
+            by_slot[self._slot_of[batch.shard_id]].append(batch)
+        return [
+            self._io.submit(self._apply_slot, slot, group)
+            for slot, group in sorted(by_slot.items())
+        ]
+
+    def _apply_slot(self, slot: int, group: List[ShardUpdateBatch]) -> List[ShardApplyResult]:
+        with self._locks[slot]:
+            if self._transports[slot] is None:
+                raise ShardBackendError(
+                    f"fleet slot {slot} has no live worker",
+                    worker_id=self._worker_id(slot),
+                )
+            try:
+                for batch in group:
+                    self._transports[slot].send(("apply", batch))
+                # Drain every ack even when one is a worker-reported error:
+                # an unread reply would desynchronise the shared connection
+                # for every other session on this slot.
+                results: List[ShardApplyResult] = []
+                first_error: Optional[ShardBackendError] = None
+                for _ in group:
+                    try:
+                        results.append(self._receive(slot))
+                    except ShardBackendError as error:
+                        if first_error is None:
+                            first_error = error
+                if first_error is not None:
+                    raise first_error
+                return results
+            except TransportError as error:
+                raise self._slot_lost(slot, error) from error
+
+    def collect(self, handle: object) -> List[ShardApplyResult]:
+        results: List[ShardApplyResult] = []
+        first_error: Optional[ShardBackendError] = None
+        for future in handle:
+            try:
+                results.extend(future.result())
+            except ShardBackendError as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def query(self, request: ShardQueryRequest) -> ShardQueryResult:
+        self._check_epochs([request.shard_id])
+        return self._roundtrip(self._slot_of[request.shard_id], "query", request)
+
+    def export(self, gid: int) -> ShardExportResult:
+        self._check_epochs([gid])
+        return self._roundtrip(self._slot_of[gid], "export", gid)
+
+    def check(self, gids: Sequence[int]) -> None:
+        """Epoch check plus a rate-limited liveness ping on quiet slots."""
+        self._check_epochs(gids)
+        now = time.perf_counter()
+        for slot in sorted({self._slot_of[gid] for gid in gids}):
+            if now - self._last_contact[slot] < self.heartbeat_interval_s:
+                continue
+            self.heartbeat_probes += 1
+            with self._locks[slot]:
+                transport = self._transports[slot]
+                if transport is None:
+                    raise ShardBackendError(
+                        f"fleet slot {slot} has no live worker",
+                        worker_id=self._worker_id(slot),
+                    )
+                transport.settimeout(self.heartbeat_timeout_s)
+                try:
+                    transport.send(("ping", None))
+                    self._receive(slot)
+                except TransportError as error:
+                    self.heartbeat_failures += 1
+                    raise self._slot_lost(slot, error) from error
+                finally:
+                    live = self._transports[slot]
+                    if live is not None:
+                        live.settimeout(self.io_timeout_s)
+
+    def local_workers(self, gids: Sequence[int]):
+        raise AttributeError(
+            "socket fleet workers are not in-process; use the Shard* message API"
+        )
+
+    @property
+    def attached_shards(self) -> int:
+        return len(self._slot_of)
+
+    def close(self) -> None:
+        for slot, transport in enumerate(self._transports):
+            if transport is None:
+                continue
+            if not self.owned_workers:
+                # External workers outlive the fleet: release the gids this
+                # slot still hosts instead of stopping the server.
+                for gid, owner in list(self._slot_of.items()):
+                    if owner != slot or self._gid_epoch.get(gid) != self._slot_epoch[slot]:
+                        continue
+                    try:
+                        transport.send(("detach", gid))
+                        transport.recv()
+                    except TransportError:
+                        break
+            transport.close()
+        self._transports = [None] * self.num_slots
+        self._slot_of.clear()
+        self._gid_epoch.clear()
+        for handle in self.owned_workers:
+            try:
+                handle.stop()
+            except Exception:  # pragma: no cover - best-effort reaping
+                pass
+        self._io.shutdown(wait=True)

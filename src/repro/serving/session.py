@@ -64,6 +64,14 @@ class SessionConfig:
         scheduler_policy: ``"fifo"``, ``"priority"`` or ``"deadline"``.
         batch_size: scans coalesced per ingestion batch.
         cache_capacity: entries of the query LRU cache.
+        negative_ttl_s: wall-clock lifetime of cached *unknown* answers.
+            ``0`` (the default) keeps strict generation-stamped semantics;
+            a positive TTL lets unknown-space answers survive shard writes
+            for this many seconds (bounded staleness traded for hit rate on
+            planner probes into unmapped space).
+        bbox_cache_capacity: whole box-sweep summaries cached per session,
+            validated against the full shard generation vector (always
+            exact).  ``0`` disables bbox result caching.
         accelerator: configuration of every shard's accelerator (resolution,
             PE count, fixed point, ...).
         default_max_range: beam truncation applied when a request does not
@@ -105,6 +113,23 @@ class SessionConfig:
             before the socket backend probes it with a liveness ping.
         heartbeat_timeout_s: reply deadline of a liveness ping; a missed
             deadline triggers shard recovery.
+        fleet_workers: size of the *shared* backend fleet.  ``0`` (the
+            default) keeps the classic ownership model -- every session
+            constructs and owns its backend, N sessions cost N x num_shards
+            workers.  A positive value makes the owning
+            :class:`~repro.serving.manager.MapSessionManager` run one
+            :class:`~repro.serving.fleet.BackendPool` of this many execution
+            slots per backend kind and hand each session a lease
+            (:class:`~repro.serving.fleet.SessionBackendView`) instead, so
+            any number of sessions share O(fleet_workers) OS resources.
+        flusher_concurrency: asyncio flusher tasks the async front end runs
+            per session (:mod:`repro.serving.aio`).  The default of 1 keeps
+            strictly serial flush cycles; K > 1 lets one session overlap up
+            to K cycles (pop/coalesce of cycle N+1 runs while cycle N's
+            ingest executes), bounded so a heavy session cannot monopolise
+            the shared executor.  With K > 1 batches may interleave, so
+            cross-batch dispatch order is no longer the per-session submit
+            order (per-batch order still is).
     """
 
     num_shards: int = 2
@@ -115,6 +140,8 @@ class SessionConfig:
     scheduler_policy: str = "fifo"
     batch_size: int = 8
     cache_capacity: int = 4096
+    negative_ttl_s: float = 0.0
+    bbox_cache_capacity: int = 64
     accelerator: OMUConfig = field(default_factory=lambda: DEFAULT_CONFIG)
     default_max_range: float = -1.0
     admission_queue_limit: int = 64
@@ -127,8 +154,18 @@ class SessionConfig:
     snapshot_every_batches: int = 8
     heartbeat_interval_s: float = 1.0
     heartbeat_timeout_s: float = 5.0
+    fleet_workers: int = 0
+    flusher_concurrency: int = 1
 
     def __post_init__(self) -> None:
+        if self.fleet_workers < 0:
+            raise ValueError("fleet_workers must be non-negative (0 = owned backend)")
+        if self.flusher_concurrency < 1:
+            raise ValueError("flusher_concurrency must be at least 1")
+        if self.negative_ttl_s < 0.0:
+            raise ValueError("negative_ttl_s must be non-negative (0 disables)")
+        if self.bbox_cache_capacity < 0:
+            raise ValueError("bbox_cache_capacity must be non-negative (0 disables)")
         if self.admission_queue_limit < 1:
             raise ValueError("admission_queue_limit must be at least 1")
         if self.quota_points_per_s < 0.0:
@@ -174,6 +211,10 @@ class SessionConfig:
         """Copy served by the socket backend over the given worker endpoints."""
         return replace(self, backend="socket", workers=tuple(workers))
 
+    def with_fleet(self, fleet_workers: int) -> "SessionConfig":
+        """Copy leasing execution from a shared fleet of this many slots."""
+        return replace(self, fleet_workers=fleet_workers)
+
     def resolved_tenant(self, session_id: str) -> str:
         """The accounting principal: ``tenant``, or the session id when unset."""
         return self.tenant or session_id
@@ -187,6 +228,7 @@ class MapSession:
         session_id: str,
         config: Optional[SessionConfig] = None,
         metrics=None,
+        backend_pool=None,
     ) -> None:
         if not session_id:
             raise ValueError("session_id must be a non-empty string")
@@ -208,6 +250,9 @@ class MapSession:
             self.config.num_shards,
             prefix_levels=self.config.shard_prefix_levels,
         )
+        # With a shared fleet the session holds a lease (SessionBackendView),
+        # not a backend it owns: close() releases this session's hosted
+        # shards and leaves the fleet serving everyone else.
         self.backend: ShardBackend = make_backend(
             self.config.backend,
             self.config.accelerator,
@@ -218,6 +263,8 @@ class MapSession:
             snapshot_every_batches=self.config.snapshot_every_batches,
             heartbeat_interval_s=self.config.heartbeat_interval_s,
             heartbeat_timeout_s=self.config.heartbeat_timeout_s,
+            fleet=backend_pool,
+            session_id=session_id,
         )
         self.pipeline = IngestionPipeline(
             session_id,
@@ -231,15 +278,27 @@ class MapSession:
             tenant=self.tenant,
             scalar_frontend=self.config.scalar_frontend,
         )
-        self.cache = GenerationLRUCache(self.config.cache_capacity)
-        self.query_engine = QueryEngine(self.router, self.backend, self.cache, self.stats)
+        self.cache = GenerationLRUCache(
+            self.config.cache_capacity, negative_ttl_s=self.config.negative_ttl_s
+        )
+        self.query_engine = QueryEngine(
+            self.router,
+            self.backend,
+            self.cache,
+            self.stats,
+            bbox_cache_capacity=self.config.bbox_cache_capacity,
+        )
         self.stats.cache = self.cache.stats
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the execution backend (worker processes/threads).  Idempotent."""
+        """Release the execution backend (worker processes/threads).  Idempotent.
+
+        When the session leases from a shared fleet, this releases only its
+        lease -- the fleet (and every other session on it) keeps running.
+        """
         self.backend.close()
 
     @property

@@ -76,6 +76,11 @@ class SessionStats:
     shed_requests: int = 0
     #: deepest the bounded asyncio admission queue ever got.
     admission_queue_high_water: int = 0
+    #: flush cycles completed by the session's background flusher tasks.
+    flusher_cycles: int = 0
+    #: most flusher tasks ever simultaneously inside a flush cycle for this
+    #: session (bounded by ``SessionConfig.flusher_concurrency``).
+    flusher_overlap_high_water: int = 0
     # --- failover (socket backend; copied from ShardBackend.failover_stats) ---
     #: shard snapshots taken at the snapshot cadence.
     snapshots_taken: int = 0
@@ -219,6 +224,8 @@ class SessionStats:
                 "quota_rejects": self.quota_rejects,
                 "shed_requests": self.shed_requests,
                 "queue_high_water": self.admission_queue_high_water,
+                "flusher_cycles": self.flusher_cycles,
+                "flusher_overlap_high_water": self.flusher_overlap_high_water,
             },
             "failover": {
                 "snapshots_taken": self.snapshots_taken,
@@ -237,6 +244,11 @@ class SessionStats:
                 "cache_hits": self.cache.hits,
                 "cache_misses": self.cache.misses,
                 "cache_hit_rate": self.cache.hit_rate,
+                "negative_hits": self.cache.negative_hits,
+                "negative_expired": self.cache.negative_expired,
+                "bbox_cache_hits": self.cache.bbox_hits,
+                "bbox_cache_misses": self.cache.bbox_misses,
+                "bbox_cache_hit_rate": self.cache.bbox_hit_rate,
             },
         }
 
@@ -264,6 +276,8 @@ class ServiceStats:
         "Cache misses",
         "Hit rate (%)",
         "Stale drops",
+        "Neg hits",
+        "Bbox hits",
     )
     ADMISSION_HEADERS: Tuple[str, ...] = (
         "Session",
@@ -369,121 +383,291 @@ class ServiceStats:
     # ------------------------------------------------------------------
     # Rendering (plugs into the repro.analysis table style)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _ingest_row(stats: SessionStats) -> Tuple[object, ...]:
+        return (
+            stats.session_id,
+            stats.scans_ingested,
+            stats.points_ingested,
+            stats.voxel_updates,
+            100.0 * stats.dedup_fraction,
+            stats.batches_dispatched,
+            stats.deadline_misses,
+            stats.modelled_ingest_cycles,
+            stats.ingest_wall_seconds,
+        )
+
+    @staticmethod
+    def _query_row(stats: SessionStats) -> Tuple[object, ...]:
+        return (
+            stats.session_id,
+            stats.point_queries,
+            stats.raycast_queries,
+            stats.bbox_queries,
+            stats.cache.hits,
+            stats.cache.misses,
+            100.0 * stats.cache.hit_rate,
+            stats.cache.stale_hits,
+            stats.cache.negative_hits,
+            stats.cache.bbox_hits,
+        )
+
+    @staticmethod
+    def _admission_row(stats: SessionStats) -> Tuple[object, ...]:
+        return (
+            stats.session_id,
+            stats.async_submits,
+            stats.admission_waits,
+            stats.admission_wait_seconds,
+            1e3 * stats.mean_admission_wait_seconds,
+            stats.queue_rejects,
+            stats.quota_rejects,
+            stats.shed_requests,
+            stats.admission_queue_high_water,
+        )
+
+    @staticmethod
+    def _failover_row(stats: SessionStats) -> Tuple[object, ...]:
+        return (
+            stats.session_id,
+            stats.snapshots_taken,
+            stats.failovers,
+            stats.replayed_batches,
+            stats.replayed_updates,
+            1e3 * stats.recovery_wall_seconds,
+            stats.heartbeat_probes,
+            stats.heartbeat_failures,
+        )
+
+    @staticmethod
+    def _backend_row(stats: SessionStats) -> Tuple[object, ...]:
+        return (
+            stats.session_id,
+            stats.backend_name,
+            stats.ingest_mode,
+            stats.num_shards,
+            stats.fanout_wall_seconds,
+            100.0 * stats.fanout_fraction,
+            100.0 * stats.frontend_fraction,
+            100.0 * stats.overlap_ratio,
+            100.0 * stats.shard_utilization,
+            stats.wall_updates_per_second,
+        )
+
+    @staticmethod
+    def _has_admission_traffic(stats: SessionStats) -> bool:
+        return bool(
+            stats.async_submits
+            or stats.queue_rejects
+            or stats.quota_rejects
+            or stats.shed_requests
+        )
+
+    @staticmethod
+    def _has_failover_traffic(stats: SessionStats) -> bool:
+        return bool(stats.snapshots_taken or stats.failovers or stats.heartbeat_probes)
+
     def ingest_rows(self) -> List[Tuple[object, ...]]:
-        """Table rows of the ingestion-side counters."""
-        return [
-            (
-                stats.session_id,
-                stats.scans_ingested,
-                stats.points_ingested,
-                stats.voxel_updates,
-                100.0 * stats.dedup_fraction,
-                stats.batches_dispatched,
-                stats.deadline_misses,
-                stats.modelled_ingest_cycles,
-                stats.ingest_wall_seconds,
-            )
-            for stats in sorted(self, key=lambda s: s.session_id)
-        ]
+        """Table rows of the ingestion-side counters (all sessions)."""
+        return [self._ingest_row(s) for s in sorted(self, key=lambda s: s.session_id)]
 
     def query_rows(self) -> List[Tuple[object, ...]]:
-        """Table rows of the query-side counters."""
-        return [
-            (
-                stats.session_id,
-                stats.point_queries,
-                stats.raycast_queries,
-                stats.bbox_queries,
-                stats.cache.hits,
-                stats.cache.misses,
-                100.0 * stats.cache.hit_rate,
-                stats.cache.stale_hits,
-            )
-            for stats in sorted(self, key=lambda s: s.session_id)
-        ]
+        """Table rows of the query-side counters (all sessions)."""
+        return [self._query_row(s) for s in sorted(self, key=lambda s: s.session_id)]
 
     def admission_rows(self) -> List[Tuple[object, ...]]:
         """Table rows of the asyncio admission counters (async sessions only)."""
         return [
-            (
-                stats.session_id,
-                stats.async_submits,
-                stats.admission_waits,
-                stats.admission_wait_seconds,
-                1e3 * stats.mean_admission_wait_seconds,
-                stats.queue_rejects,
-                stats.quota_rejects,
-                stats.shed_requests,
-                stats.admission_queue_high_water,
-            )
-            for stats in sorted(self, key=lambda s: s.session_id)
-            if stats.async_submits
-            or stats.queue_rejects
-            or stats.quota_rejects
-            or stats.shed_requests
+            self._admission_row(s)
+            for s in sorted(self, key=lambda s: s.session_id)
+            if self._has_admission_traffic(s)
         ]
 
     def failover_rows(self) -> List[Tuple[object, ...]]:
         """Table rows of snapshot/failover counters (sessions that used them)."""
         return [
-            (
-                stats.session_id,
-                stats.snapshots_taken,
-                stats.failovers,
-                stats.replayed_batches,
-                stats.replayed_updates,
-                1e3 * stats.recovery_wall_seconds,
-                stats.heartbeat_probes,
-                stats.heartbeat_failures,
-            )
-            for stats in sorted(self, key=lambda s: s.session_id)
-            if stats.snapshots_taken or stats.failovers or stats.heartbeat_probes
+            self._failover_row(s)
+            for s in sorted(self, key=lambda s: s.session_id)
+            if self._has_failover_traffic(s)
         ]
 
     def backend_rows(self) -> List[Tuple[object, ...]]:
-        """Table rows of the execution-backend counters."""
-        return [
-            (
-                stats.session_id,
-                stats.backend_name,
-                stats.ingest_mode,
-                stats.num_shards,
-                stats.fanout_wall_seconds,
-                100.0 * stats.fanout_fraction,
-                100.0 * stats.frontend_fraction,
-                100.0 * stats.overlap_ratio,
-                100.0 * stats.shard_utilization,
-                stats.wall_updates_per_second,
-            )
-            for stats in sorted(self, key=lambda s: s.session_id)
-        ]
+        """Table rows of the execution-backend counters (all sessions)."""
+        return [self._backend_row(s) for s in sorted(self, key=lambda s: s.session_id)]
 
-    def render(self) -> str:
-        """All counter tables as one printable block."""
-        ingest = render_table(
-            "Serving: ingestion per session", self.INGEST_HEADERS, self.ingest_rows()
+    # ------------------------------------------------------------------
+    # Top-K selection (render() stays readable at hundreds of sessions)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _select(
+        stats_list: List[SessionStats], traffic, top_sessions: int
+    ) -> Tuple[List[SessionStats], List[SessionStats]]:
+        """Split into (shown, folded): top-K by traffic, id-sorted for display."""
+        if top_sessions <= 0 or len(stats_list) <= top_sessions:
+            return stats_list, []
+        ranked = sorted(stats_list, key=traffic, reverse=True)
+        top = {id(s) for s in ranked[:top_sessions]}
+        shown = [s for s in stats_list if id(s) in top]
+        folded = [s for s in stats_list if id(s) not in top]
+        return shown, folded
+
+    @staticmethod
+    def _ratio(numerator: float, denominator: float) -> float:
+        return numerator / denominator if denominator > 0 else 0.0
+
+    def _ingest_aggregate(self, folded: List[SessionStats]) -> Tuple[object, ...]:
+        visited = sum(s.ray_voxels_visited for s in folded)
+        removed = sum(s.duplicates_removed for s in folded)
+        return (
+            f"(+{len(folded)} more)",
+            sum(s.scans_ingested for s in folded),
+            sum(s.points_ingested for s in folded),
+            sum(s.voxel_updates for s in folded),
+            100.0 * self._ratio(removed, visited),
+            sum(s.batches_dispatched for s in folded),
+            sum(s.deadline_misses for s in folded),
+            sum(s.modelled_ingest_cycles for s in folded),
+            sum(s.ingest_wall_seconds for s in folded),
         )
-        query = render_table(
-            "Serving: queries per session", self.QUERY_HEADERS, self.query_rows()
+
+    def _query_aggregate(self, folded: List[SessionStats]) -> Tuple[object, ...]:
+        hits = sum(s.cache.hits for s in folded)
+        lookups = sum(s.cache.lookups for s in folded)
+        return (
+            f"(+{len(folded)} more)",
+            sum(s.point_queries for s in folded),
+            sum(s.raycast_queries for s in folded),
+            sum(s.bbox_queries for s in folded),
+            hits,
+            sum(s.cache.misses for s in folded),
+            100.0 * self._ratio(hits, lookups),
+            sum(s.cache.stale_hits for s in folded),
+            sum(s.cache.negative_hits for s in folded),
+            sum(s.cache.bbox_hits for s in folded),
         )
-        backend = render_table(
+
+    def _admission_aggregate(self, folded: List[SessionStats]) -> Tuple[object, ...]:
+        waits = sum(s.admission_waits for s in folded)
+        wait_seconds = sum(s.admission_wait_seconds for s in folded)
+        return (
+            f"(+{len(folded)} more)",
+            sum(s.async_submits for s in folded),
+            waits,
+            wait_seconds,
+            1e3 * self._ratio(wait_seconds, waits),
+            sum(s.queue_rejects for s in folded),
+            sum(s.quota_rejects for s in folded),
+            sum(s.shed_requests for s in folded),
+            max(s.admission_queue_high_water for s in folded),
+        )
+
+    def _failover_aggregate(self, folded: List[SessionStats]) -> Tuple[object, ...]:
+        return (
+            f"(+{len(folded)} more)",
+            sum(s.snapshots_taken for s in folded),
+            sum(s.failovers for s in folded),
+            sum(s.replayed_batches for s in folded),
+            sum(s.replayed_updates for s in folded),
+            1e3 * sum(s.recovery_wall_seconds for s in folded),
+            sum(s.heartbeat_probes for s in folded),
+            sum(s.heartbeat_failures for s in folded),
+        )
+
+    def _backend_aggregate(self, folded: List[SessionStats]) -> Tuple[object, ...]:
+        wall = sum(s.ingest_wall_seconds for s in folded)
+        fanout = sum(s.fanout_wall_seconds for s in folded)
+        frontend = sum(s.frontend_wall_seconds for s in folded)
+        overlapped = sum(s.overlapped_frontend_seconds for s in folded)
+        return (
+            f"(+{len(folded)} more)",
+            "-",
+            "-",
+            sum(s.num_shards for s in folded),
+            fanout,
+            100.0 * self._ratio(fanout, wall),
+            100.0 * self._ratio(frontend, wall),
+            100.0 * self._ratio(overlapped, frontend),
+            100.0 * self._ratio(
+                sum(s.shard_utilization for s in folded), len(folded)
+            ),
+            self._ratio(sum(s.voxel_updates for s in folded), wall),
+        )
+
+    def _table(
+        self,
+        title: str,
+        headers: Tuple[str, ...],
+        stats_list: List[SessionStats],
+        row,
+        aggregate,
+        traffic,
+        top_sessions: int,
+    ) -> str:
+        shown, folded = self._select(stats_list, traffic, top_sessions)
+        rows = [row(s) for s in shown]
+        if folded:
+            rows.append(aggregate(folded))
+            title = f"{title} (top {len(shown)} of {len(stats_list)} by traffic)"
+        return render_table(title, headers, rows)
+
+    def render(self, top_sessions: int = 10) -> str:
+        """All counter tables as one printable block.
+
+        At high session counts a flat dump is unreadable, so each table
+        shows at most ``top_sessions`` rows -- the busiest sessions by that
+        table's traffic metric -- plus one aggregate row folding the rest
+        (sums, with rates pooled over the folded sessions).
+        :meth:`to_dict` is unaffected and always carries every session.
+        ``top_sessions <= 0`` disables the folding.
+        """
+        sessions = sorted(self, key=lambda s: s.session_id)
+        block = self._table(
+            "Serving: ingestion per session",
+            self.INGEST_HEADERS,
+            sessions,
+            self._ingest_row,
+            self._ingest_aggregate,
+            lambda s: s.scans_ingested,
+            top_sessions,
+        )
+        block += "\n\n" + self._table(
+            "Serving: queries per session",
+            self.QUERY_HEADERS,
+            sessions,
+            self._query_row,
+            self._query_aggregate,
+            lambda s: s.point_queries + s.raycast_queries + s.bbox_queries,
+            top_sessions,
+        )
+        block += "\n\n" + self._table(
             "Serving: execution backend per session",
             self.BACKEND_HEADERS,
-            self.backend_rows(),
+            sessions,
+            self._backend_row,
+            self._backend_aggregate,
+            lambda s: s.voxel_updates,
+            top_sessions,
         )
-        block = ingest + "\n\n" + query + "\n\n" + backend
-        admission = self.admission_rows()
-        if admission:
-            block += "\n\n" + render_table(
+        admission_sessions = [s for s in sessions if self._has_admission_traffic(s)]
+        if admission_sessions:
+            block += "\n\n" + self._table(
                 "Serving: async admission per session",
                 self.ADMISSION_HEADERS,
-                admission,
+                admission_sessions,
+                self._admission_row,
+                self._admission_aggregate,
+                lambda s: s.async_submits,
+                top_sessions,
             )
-        failover = self.failover_rows()
-        if failover:
-            block += "\n\n" + render_table(
+        failover_sessions = [s for s in sessions if self._has_failover_traffic(s)]
+        if failover_sessions:
+            block += "\n\n" + self._table(
                 "Serving: snapshots and failover per session",
                 self.FAILOVER_HEADERS,
-                failover,
+                failover_sessions,
+                self._failover_row,
+                self._failover_aggregate,
+                lambda s: s.failovers + s.snapshots_taken + s.heartbeat_probes,
+                top_sessions,
             )
         return block

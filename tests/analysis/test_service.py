@@ -170,6 +170,7 @@ def test_service_main_writes_json(tmp_path, capsys):
             "--scans", "1",
             "--clients", "1",
             "--skip-scheduler-sweep",
+            "--skip-session-sweep",
         ]
     )
     assert exit_code == 0
@@ -217,6 +218,7 @@ def test_service_main_can_skip_the_http_sweep(tmp_path, capsys):
             "--skip-http-sweep",
             "--skip-metrics-sweep",
             "--skip-failover-sweep",
+            "--skip-session-sweep",
         ]
     )
     assert exit_code == 0
@@ -283,3 +285,26 @@ def test_http_frontend_experiment_prices_the_network_hop():
     for record in records:
         assert record["Mean admit (ms)"] >= 0.0
         assert record["Max admit (ms)"] >= record["Mean admit (ms)"]
+
+
+def test_session_scaling_experiment_table_shape():
+    from repro.analysis.service import session_scaling_experiment
+
+    result = session_scaling_experiment(
+        session_counts=(3, 6),
+        fleet_workers=2,
+        scans_per_session=1,
+        arrival_rate_per_s=500.0,
+    )
+    assert result.experiment_id == "session_scaling"
+    records = result.records()
+    assert [r["Sessions"] for r in records] == [3, 6]
+    for record in records:
+        assert record["Fleet workers"] == 2
+        # O(W): the fleet multiplexes; threads never scale with sessions.
+        assert record["Peak threads"] < 3 + 20
+        assert record["Scans"] == record["Sessions"]  # one scan per tenant
+        assert record["Sustained (scans/s)"] > 0.0
+        assert record["Admit p99 (ms)"] >= record["Admit p50 (ms)"]
+        assert record["Ingest p99 (ms)"] >= record["Ingest p50 (ms)"]
+    assert "coordinated omission" in result.notes

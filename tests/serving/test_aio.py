@@ -538,3 +538,56 @@ async def test_export_octree_coroutine_matches_session_export():
         direct = service.manager.get_session("map").export_octree()
         report = compare_trees(tree, direct, 1e-9)
         assert report.equivalent, report.summary()
+
+
+# ---------------------------------------------------------------------------
+# Overlapped flushers (flusher_concurrency > 1)
+# ---------------------------------------------------------------------------
+@async_test
+async def test_flusher_concurrency_spawns_k_tasks_and_stays_equivalent():
+    """K flushers share one admission queue; the session lock keeps ingest
+    serial, so the map still equals dispatch-order sequential insertion."""
+    config = SessionConfig(num_shards=2, batch_size=2, flusher_concurrency=3)
+    async with AsyncMapService(default_config=config) as service:
+        service.get_or_create_session("map")
+        assert len(service._entries["map"].flushers) == 3
+        submitted = [
+            request.with_request_id(index)
+            for index, request in enumerate(_requests(10))
+        ]
+        for request in submitted:
+            await service.submit(request)
+        await service.flush("map")
+        stats = service.manager.get_session("map").stats
+        assert stats.scans_ingested == 10
+        assert stats.flusher_cycles >= 1
+        assert 1 <= stats.flusher_overlap_high_water <= 3
+        _assert_session_matches_dispatch_order(service, "map", submitted)
+
+
+@async_test
+async def test_heavy_session_with_many_flushers_cannot_starve_others():
+    """A flooded session running K flushers blocks only itself: its flushers
+    park on its own session lock, never on anything the light session needs."""
+    config = SessionConfig(
+        num_shards=1, batch_size=2, flusher_concurrency=3, admission_queue_limit=16
+    )
+    async with AsyncMapService(default_config=config) as service:
+        service.get_or_create_session("heavy")
+        service.get_or_create_session("light")
+        heavy_entry = service._entries["heavy"]
+        async with heavy_entry.lock:  # the heavy session's ingestion hangs
+            for request in _requests(8, session_id="heavy"):
+                await service.submit(request)
+            light_requests = _requests(3, session_id="light", seed=11)
+            for request in light_requests:
+                await service.submit(request)
+            reports = await service.flush("light")  # progresses regardless
+            assert sum(report.scans for report in reports) == 3
+        await service.flush("heavy")
+        assert service.manager.get_session("heavy").stats.scans_ingested == 8
+
+
+def test_session_config_validates_flusher_concurrency():
+    with pytest.raises(ValueError):
+        SessionConfig(flusher_concurrency=0)

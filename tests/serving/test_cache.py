@@ -182,10 +182,147 @@ def test_ingest_through_pipeline_bumps_generations(warm_session, small_scans):
 def test_raycast_and_bbox_share_the_point_cache(warm_session):
     box = warm_session.query_bbox((-0.6, -0.6, 0.0), (0.6, 0.6, 0.2))
     assert box.voxels_scanned > 0
+    # The sweep's point lookups populated the shared point cache, so a
+    # raycast through the same volume hits it.
+    response = warm_session.raycast((-0.5, 0.0, 0.1), (1.0, 0.0, 0.0), 1.0)
+    assert response.cache_hits > 0
+    # A repeated identical sweep over the unchanged map is answered whole by
+    # the bbox summary cache, without re-walking the voxels.
     repeat = warm_session.query_bbox((-0.6, -0.6, 0.0), (0.6, 0.6, 0.2))
-    assert repeat.cache_hits == repeat.voxels_scanned
+    assert warm_session.stats.cache.bbox_hits == 1
     assert (repeat.occupied, repeat.free, repeat.unknown) == (
         box.occupied,
         box.free,
         box.unknown,
     )
+
+
+# ---------------------------------------------------------------------------
+# Negative-TTL entries (unknown space)
+# ---------------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_negative_entries_survive_generation_bumps_until_the_ttl():
+    clock = _FakeClock()
+    cache = GenerationLRUCache(capacity=8, negative_ttl_s=2.0, clock=clock)
+    generations = {0: 0}
+    cache.put_negative("far-voxel", 0, 0, "unknown")
+    assert cache.stats.negative_puts == 1
+
+    generations[0] += 5  # heavy writes on the owning shard
+    clock.now += 1.9  # still inside the TTL window
+    assert cache.get("far-voxel", generations.__getitem__) == "unknown"
+    assert cache.stats.negative_hits == 1
+    assert cache.stats.hits == 1
+
+    clock.now += 0.2  # past the deadline
+    assert cache.get("far-voxel", generations.__getitem__) is None
+    assert cache.stats.negative_expired == 1
+    assert cache.stats.misses == 1
+    assert len(cache) == 0
+
+
+def test_zero_ttl_makes_put_negative_exactly_put():
+    cache = GenerationLRUCache(capacity=8)  # negative_ttl_s defaults to 0.0
+    generations = {0: 0}
+    cache.put_negative("voxel", 0, 0, "unknown")
+    assert cache.stats.negative_puts == 0
+    assert cache.get("voxel", generations.__getitem__) == "unknown"
+    assert cache.stats.negative_hits == 0
+    generations[0] += 1  # a strict generation-stamped entry: one write kills it
+    assert cache.get("voxel", generations.__getitem__) is None
+    assert cache.stats.stale_hits == 1
+
+
+def test_negative_ttl_validation():
+    with pytest.raises(ValueError):
+        GenerationLRUCache(capacity=8, negative_ttl_s=-0.1)
+
+
+def test_live_entries_counts_unexpired_negatives():
+    clock = _FakeClock()
+    cache = GenerationLRUCache(capacity=8, negative_ttl_s=1.0, clock=clock)
+    generations = {0: 0}
+    cache.put("pos", 0, 0, "occ")
+    cache.put_negative("neg", 0, 0, "unknown")
+    assert cache.live_entries(generations.__getitem__) == 2
+    generations[0] += 1  # kills the positive entry, not the live negative
+    assert cache.live_entries(generations.__getitem__) == 1
+    clock.now += 1.5  # TTL elapses: nothing lives
+    assert cache.live_entries(generations.__getitem__) == 0
+
+
+def test_session_config_wires_negative_ttl_into_the_session():
+    clock_session = MapSession(
+        "map", SessionConfig(num_shards=1, negative_ttl_s=3.0)
+    )
+    try:
+        assert clock_session.cache.negative_ttl_s == 3.0
+    finally:
+        clock_session.close()
+    with pytest.raises(ValueError):
+        SessionConfig(negative_ttl_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Unit level: BboxResultCache
+# ---------------------------------------------------------------------------
+def test_bbox_cache_hits_only_on_exact_generation_vector():
+    from repro.serving import BboxResultCache
+
+    cache = BboxResultCache(capacity=4)
+    key = ((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    cache.put(key, (3, 7), "summary")
+    assert cache.get(key, (3, 7)) == "summary"
+    assert cache.stats.bbox_hits == 1
+    # Any shard moving invalidates the whole summary (exactness).
+    assert cache.get(key, (3, 8)) is None
+    assert cache.stats.bbox_misses == 1
+    assert len(cache) == 0
+
+
+def test_bbox_cache_lru_eviction_and_counters():
+    from repro.serving import BboxResultCache
+
+    cache = BboxResultCache(capacity=2)
+    cache.put("a", (0,), 1)
+    cache.put("b", (0,), 2)
+    assert cache.get("a", (0,)) == 1  # refresh; "b" becomes LRU
+    cache.put("c", (0,), 3)
+    assert cache.stats.bbox_evictions == 1
+    assert cache.get("b", (0,)) is None
+    assert cache.get("c", (0,)) == 3
+    assert cache.stats.bbox_puts == 3
+    assert cache.stats.bbox_hit_rate == pytest.approx(2 / 3)
+
+
+def test_bbox_cache_capacity_zero_disables():
+    from repro.serving import BboxResultCache
+
+    cache = BboxResultCache(capacity=0)
+    cache.put("a", (0,), 1)
+    assert len(cache) == 0
+    assert cache.get("a", (0,)) is None
+    with pytest.raises(ValueError):
+        BboxResultCache(capacity=-1)
+
+
+def test_bbox_cache_invalidates_after_ingest(warm_session, small_scans):
+    """End to end: a cached sweep goes stale the moment new scans land."""
+    box = ((-0.6, -0.6, 0.0), (0.6, 0.6, 0.2))
+    first = warm_session.query_bbox(*box)
+    warm_session.query_bbox(*box)
+    assert warm_session.stats.cache.bbox_hits == 1
+    warm_session.ingest(
+        ScanRequest.from_scan_node("map", small_scans[0]).with_request_id(77)
+    )
+    fresh = warm_session.query_bbox(*box)  # re-swept, not served stale
+    assert warm_session.stats.cache.bbox_hits == 1
+    assert warm_session.stats.cache.bbox_misses >= 2
+    assert fresh.voxels_scanned == first.voxels_scanned

@@ -138,3 +138,27 @@ def test_flush_all_round_robin_drains_every_session(small_scans):
     assert manager.pending_requests() == 0
     sessions_seen = {report.session_id for report in reports}
     assert sessions_seen == {"a", "b"}
+
+
+def test_stats_render_folds_beyond_top_k(small_scans):
+    """Many sessions render as the busiest K plus one aggregate row; the
+    dict export always stays complete."""
+    manager = MapSessionManager(SessionConfig(num_shards=1, batch_size=2))
+    # "hot" ingests twice, everyone else once: traffic ranking is stable.
+    manager.ingest(ScanRequest.from_scan_node("hot", small_scans[0]))
+    manager.ingest(ScanRequest.from_scan_node("hot", small_scans[1]))
+    for index in range(6):
+        manager.ingest(ScanRequest.from_scan_node(f"cold-{index}", small_scans[0]))
+
+    rendered = manager.service_stats.render(top_sessions=3)
+    assert "hot" in rendered
+    assert "(+4 more)" in rendered
+    assert "top 3 of 7 by traffic" in rendered
+
+    full = manager.service_stats.render(top_sessions=0)
+    assert "(+4 more)" not in full
+    for index in range(6):
+        assert f"cold-{index}" in full
+
+    exported = manager.service_stats.to_dict()
+    assert len(exported["sessions"]) == 7
